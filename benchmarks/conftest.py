@@ -1,0 +1,9 @@
+"""Pytest configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures (or an
+ablation) and prints the corresponding rows/series, so running
+
+    pytest benchmarks/ --benchmark-only -s
+
+produces both timing information and the reproduced numbers.
+"""

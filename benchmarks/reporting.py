@@ -1,0 +1,15 @@
+"""Small reporting helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+__all__ = ["print_block"]
+
+
+def print_block(title: str, body: str) -> None:
+    """Print a clearly delimited result block.
+
+    Run the benchmarks with ``-s`` to see these blocks inline; they contain
+    the reproduced rows/series of the corresponding paper figure.
+    """
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")

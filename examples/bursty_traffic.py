@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Bursty (non-saturated) traffic under n+.
+
+One of the paper's motivations for keeping the protocol fully distributed
+and random-access is that wireless LAN traffic is bursty: nodes should be
+able to grab the medium (or a spare degree of freedom) whenever a packet
+arrives, without any coordinator or schedule.  This example replaces the
+saturated sources of the throughput experiments with Poisson arrivals
+(``SimulationConfig.packet_rate_pps``) and sweeps the offered load:
+
+* with light offered load, both 802.11n and n+ deliver essentially all of
+  it (the medium is mostly idle), and
+* as the offered load grows, 802.11n saturates first while n+ keeps
+  delivering by packing concurrent streams onto the medium.
+
+Run it with::
+
+    python examples/bursty_traffic.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.report import format_table
+from repro.sim.runner import SimulationConfig, run_simulation
+from repro.sim.scenarios import three_pair_scenario
+
+#: Per-flow Poisson arrival rates to sweep (packets per second of 1500 B).
+RATES_PPS = (50, 150, 400, 900)
+
+#: Simulated time per run.
+DURATION_US = 80_000.0
+
+
+def delivered_throughput(protocol: str, rate_pps: float, seeds=(5, 6, 7)) -> float:
+    """Average delivered throughput (Mb/s) for one protocol at one load."""
+    config = SimulationConfig(
+        duration_us=DURATION_US,
+        n_subcarriers=8,
+        packet_rate_pps=float(rate_pps),
+    )
+    totals = [
+        run_simulation(three_pair_scenario(), protocol, seed=seed, config=config).total_throughput_mbps()
+        for seed in seeds
+    ]
+    return float(np.mean(totals))
+
+
+def main() -> None:
+    rows = []
+    for rate_pps in RATES_PPS:
+        offered_mbps = 3 * rate_pps * 12_000 / 1e6  # three flows of 1500-byte packets
+        row = [f"{offered_mbps:.1f}"]
+        for protocol in ("802.11n", "n+"):
+            row.append(f"{delivered_throughput(protocol, rate_pps):.1f}")
+        rows.append(row)
+
+    print("Offered vs delivered throughput (Mb/s), three-pair scenario, Poisson arrivals:")
+    print(format_table(["offered (all flows)", "802.11n delivers", "n+ delivers"], rows))
+    print(
+        "\nAt light load both protocols keep up with the offered load and n+ behaves "
+        "exactly like 802.11n (packets rarely overlap, so there is nothing to join). "
+        "As the load grows the medium saturates and n+ pulls ahead by packing "
+        "concurrent streams; with fully backlogged queues the gap widens to the "
+        "~1.5-2x of Fig. 12 (see examples/quickstart.py and the Fig. 12 benchmark)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Sample-level demo of multi-dimensional carrier sense (Fig. 9).
+
+A single-antenna tx1 occupies the medium; a much weaker 2-antenna tx2
+starts 25 OFDM symbols later.  A 3-antenna node senses the medium and
+prints the per-symbol power profile with and without projecting out tx1,
+plus the preamble-correlation statistics at low SNR -- the two components
+of 802.11 carrier sense examined in §6.1.
+
+Run it with::
+
+    python examples/carrier_sense_demo.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.fig9_carrier_sense import run_carrier_sense_experiment, summarize
+from repro.sim.metrics import empirical_cdf
+
+
+def ascii_plot(values, width: int = 60, label: str = "") -> None:
+    """Print a crude horizontal-bar plot of a dB power profile."""
+    values = np.asarray(values)
+    low, high = values.min(), values.max()
+    span = max(high - low, 1e-9)
+    print(label)
+    for index, value in enumerate(values):
+        bar = "#" * int((value - low) / span * width)
+        print(f"  symbol {index:3d} {value:7.1f} dB |{bar}")
+
+
+def main() -> None:
+    result = run_carrier_sense_experiment(n_trials=25, seed=3)
+    print(summarize(result))
+
+    print("\nCorrelation CDFs at low SNR (tx2 at ~3 dB):")
+    for kind in ("raw", "projected"):
+        for condition in ("silent", "transmitting"):
+            values, _ = empirical_cdf(result.correlations[(condition, kind)])
+            median = values[values.size // 2] if values.size else float("nan")
+            print(f"  {kind:9s} / tx2 {condition:12s}: median correlation {median:.2f}")
+
+    print(
+        "\nInterpretation: without projection the weak tx2 preamble is buried in "
+        "tx1's signal, so its correlation values overlap the silent case; after "
+        "projecting out tx1 the two cases separate and the node can contend for "
+        "the second degree of freedom."
+    )
+
+
+if __name__ == "__main__":
+    main()

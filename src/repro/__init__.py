@@ -1,0 +1,38 @@
+"""802.11n+ -- a reproduction of "Random Access Heterogeneous MIMO Networks".
+
+The library is organised in layers:
+
+* :mod:`repro.utils` -- linear algebra, dB and bit helpers.
+* :mod:`repro.phy` -- a software 802.11-style OFDM PHY (modulation,
+  coding, preambles, channel estimation, effective SNR).
+* :mod:`repro.channel` -- channel and synthetic-testbed models replacing
+  the paper's USRP2 deployment.
+* :mod:`repro.mimo` -- the core contribution: interference nulling,
+  interference alignment, the general pre-coding solver and
+  multi-dimensional carrier sense.
+* :mod:`repro.mac` -- the n+ random-access MAC, plus the 802.11n and
+  multi-user-beamforming baselines it is compared against.
+* :mod:`repro.sim` -- a discrete-event network simulator tying the layers
+  together.
+* :mod:`repro.experiments` -- runnable reproductions of every figure in
+  the paper's evaluation (Figs. 9 and 11-13).
+
+Quickstart::
+
+    import numpy as np
+    from repro.mimo import ReceiverConstraint, compute_precoders
+
+    rng = np.random.default_rng(0)
+    # A 2-antenna transmitter joining a single-antenna pair: null at rx1.
+    h_to_rx1 = rng.standard_normal(2) + 1j * rng.standard_normal(2)
+    precoders = compute_precoders(
+        n_tx_antennas=2, ongoing=[ReceiverConstraint(channel=h_to_rx1)]
+    )
+    assert np.allclose(h_to_rx1 @ precoders[0], 0)
+"""
+
+__version__ = "1.0.0"
+
+from repro import constants, exceptions
+
+__all__ = ["constants", "exceptions", "__version__"]

@@ -1,0 +1,119 @@
+"""Hardware impairment models.
+
+Perfect nulling and alignment are impossible on real radios: channel
+estimates are noisy, the hardware is slightly non-linear and reciprocity
+calibration is imperfect, so a joiner's interference is suppressed by a
+finite amount (~25-27 dB in the paper's USRP2 measurements, §6.2).  The
+:class:`HardwareProfile` gathers those knobs so every layer draws its
+imperfections from a single place, keeping the simulation honest about
+the *residual interference* that drives the paper's Fig. 11 and the small
+single-antenna throughput loss in Fig. 12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import (
+    ALIGNMENT_SUPPRESSION_DB,
+    NOISE_FLOOR_DBM,
+    NULLING_SUPPRESSION_DB,
+)
+from repro.utils.db import db_to_linear
+
+__all__ = ["HardwareProfile"]
+
+
+@dataclass(frozen=True)
+class HardwareProfile:
+    """Per-node hardware characteristics.
+
+    Attributes
+    ----------
+    noise_floor_dbm:
+        Receiver noise floor over the simulated bandwidth.
+    nulling_suppression_db:
+        How far below its uncontrolled level a nulled interferer ends up.
+    alignment_suppression_db:
+        Same for alignment (slightly worse, because the aligner also needs
+        the receiver's estimate of its unwanted subspace, §6.2).
+    channel_estimation_error_db:
+        Power of the channel-estimation error relative to the channel
+        (dB); drives the spread of the residual error.
+    reciprocity_error_db:
+        Additional error of reverse-channel (reciprocity-derived)
+        estimates relative to forward estimates.
+    max_cfo_hz:
+        Largest carrier-frequency offset between any two nodes.
+    """
+
+    noise_floor_dbm: float = NOISE_FLOOR_DBM
+    nulling_suppression_db: float = NULLING_SUPPRESSION_DB
+    alignment_suppression_db: float = ALIGNMENT_SUPPRESSION_DB
+    channel_estimation_error_db: float = -30.0
+    reciprocity_error_db: float = -32.0
+    max_cfo_hz: float = 2_000.0
+
+    # -- derived quantities ----------------------------------------------------
+
+    @property
+    def noise_floor_mw(self) -> float:
+        """Noise floor in milliwatts."""
+        return float(db_to_linear(self.noise_floor_dbm))
+
+    def estimation_error_variance(self, channel_power: float) -> float:
+        """Variance of the channel-estimation error for a channel of the
+        given average power."""
+        return float(channel_power * db_to_linear(self.channel_estimation_error_db))
+
+    def residual_interference_power(
+        self, interference_power: float, aligned: bool, rng: np.random.Generator | None = None
+    ) -> float:
+        """Residual interference power after nulling or alignment.
+
+        Parameters
+        ----------
+        interference_power:
+            The interference power (linear) the joiner would create with
+            no nulling/alignment at all.
+        aligned:
+            ``True`` for alignment, ``False`` for nulling.
+        rng:
+            Optional generator; when provided, the suppression fluctuates
+            log-normally by a couple of dB around its mean, reproducing
+            the spread of Fig. 11.
+        """
+        suppression_db = (
+            self.alignment_suppression_db if aligned else self.nulling_suppression_db
+        )
+        if rng is not None:
+            suppression_db = suppression_db + rng.normal(0.0, 2.0)
+        return float(interference_power * db_to_linear(-suppression_db))
+
+    def perturb_channel(
+        self, channel: np.ndarray, rng: np.random.Generator, reciprocity: bool = False
+    ) -> np.ndarray:
+        """Return a noisy estimate of ``channel``.
+
+        Adds complex Gaussian error at ``channel_estimation_error_db``
+        below the channel power (plus the reciprocity penalty when the
+        estimate is derived from the reverse direction).
+        """
+        channel = np.asarray(channel, dtype=complex)
+        power = float(np.mean(np.abs(channel) ** 2)) if channel.size else 0.0
+        error_db = self.channel_estimation_error_db
+        if reciprocity:
+            error_db = 10 * np.log10(
+                db_to_linear(error_db) + db_to_linear(self.reciprocity_error_db)
+            )
+        variance = power * db_to_linear(error_db)
+        error = np.sqrt(variance / 2.0) * (
+            rng.standard_normal(channel.shape) + 1j * rng.standard_normal(channel.shape)
+        )
+        return channel + error
+
+    def draw_cfo(self, rng: np.random.Generator) -> float:
+        """Draw a carrier-frequency offset for a node, in Hz."""
+        return float(rng.uniform(-self.max_cfo_hz, self.max_cfo_hz))

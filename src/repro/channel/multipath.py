@@ -1,0 +1,168 @@
+"""Tapped-delay-line multipath channels and their frequency responses.
+
+The paper handles multipath by running nulling and alignment per OFDM
+subcarrier (§4, "Multipath").  This module provides the corresponding
+channel substrate: a per-antenna-pair FIR channel whose 64-point frequency
+response gives the per-subcarrier MIMO matrices the MIMO layer consumes,
+and a time-domain ``apply`` for the sample-level experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.constants import CYCLIC_PREFIX_LENGTH, NUM_SUBCARRIERS
+from repro.exceptions import ConfigurationError, DimensionError
+from repro.channel.models import complex_gaussian
+
+__all__ = ["exponential_power_delay_profile", "MultipathChannel"]
+
+
+def exponential_power_delay_profile(n_taps: int, decay_samples: float = 3.0) -> np.ndarray:
+    """Return a normalised exponential power-delay profile.
+
+    Parameters
+    ----------
+    n_taps:
+        Number of channel taps (must not exceed the cyclic prefix).
+    decay_samples:
+        Exponential decay constant in samples; larger means a longer,
+        more frequency-selective channel.
+    """
+    if n_taps < 1:
+        raise ConfigurationError("a channel needs at least one tap")
+    profile = np.exp(-np.arange(n_taps) / max(decay_samples, 1e-9))
+    return profile / profile.sum()
+
+
+@dataclass
+class MultipathChannel:
+    """A static frequency-selective MIMO channel.
+
+    Attributes
+    ----------
+    taps:
+        Complex array of shape ``(n_taps, n_rx, n_tx)``; ``taps[d]`` is the
+        channel matrix of delay ``d`` samples.
+    """
+
+    taps: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.taps = np.asarray(self.taps, dtype=complex)
+        if self.taps.ndim != 3:
+            raise DimensionError(
+                f"taps must have shape (n_taps, n_rx, n_tx), got {self.taps.shape}"
+            )
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def random(
+        cls,
+        n_rx: int,
+        n_tx: int,
+        rng: np.random.Generator,
+        n_taps: int = 4,
+        decay_samples: float = 3.0,
+        average_gain: float = 1.0,
+    ) -> "MultipathChannel":
+        """Draw a random Rayleigh multipath channel.
+
+        ``average_gain`` scales the total power of the channel (linear).
+        The number of taps must stay within the cyclic prefix so that OFDM
+        sees no inter-symbol interference, matching the design assumption
+        of §4.
+        """
+        if n_taps > CYCLIC_PREFIX_LENGTH:
+            raise ConfigurationError(
+                f"n_taps ({n_taps}) must not exceed the cyclic prefix "
+                f"({CYCLIC_PREFIX_LENGTH})"
+            )
+        profile = exponential_power_delay_profile(n_taps, decay_samples)
+        taps = np.zeros((n_taps, n_rx, n_tx), dtype=complex)
+        for d in range(n_taps):
+            taps[d] = complex_gaussian((n_rx, n_tx), rng, profile[d] * average_gain)
+        return cls(taps=taps)
+
+    @classmethod
+    def flat(cls, matrix: np.ndarray) -> "MultipathChannel":
+        """Wrap a flat channel matrix as a single-tap multipath channel."""
+        matrix = np.asarray(matrix, dtype=complex)
+        if matrix.ndim != 2:
+            raise DimensionError(f"matrix must be 2-D, got shape {matrix.shape}")
+        return cls(taps=matrix.reshape(1, *matrix.shape))
+
+    # -- properties -----------------------------------------------------------
+
+    @property
+    def n_taps(self) -> int:
+        """Number of delay taps."""
+        return self.taps.shape[0]
+
+    @property
+    def n_rx(self) -> int:
+        """Number of receive antennas."""
+        return self.taps.shape[1]
+
+    @property
+    def n_tx(self) -> int:
+        """Number of transmit antennas."""
+        return self.taps.shape[2]
+
+    # -- conversions -----------------------------------------------------------
+
+    def frequency_response(self, fft_size: int = NUM_SUBCARRIERS) -> np.ndarray:
+        """Per-subcarrier channel matrices.
+
+        Returns a complex array of shape ``(fft_size, n_rx, n_tx)`` where
+        slice ``k`` is the channel matrix seen on subcarrier ``k``.
+        """
+        padded = np.zeros((fft_size, self.n_rx, self.n_tx), dtype=complex)
+        padded[: self.n_taps] = self.taps
+        return np.fft.fft(padded, axis=0)
+
+    def average_matrix(self) -> np.ndarray:
+        """The frequency-averaged (narrowband-equivalent) channel matrix."""
+        return self.frequency_response().mean(axis=0)
+
+    # -- application ------------------------------------------------------------
+
+    def apply(self, samples: np.ndarray) -> np.ndarray:
+        """Convolve transmitted samples with the channel.
+
+        Parameters
+        ----------
+        samples:
+            Shape ``(n_tx, n_samples)`` (or 1-D for a single antenna).
+
+        Returns
+        -------
+        numpy.ndarray
+            Received samples of shape ``(n_rx, n_samples)`` (the
+            convolution tail is truncated so input and output lengths
+            match, mimicking a continuously running receiver).
+        """
+        samples = np.asarray(samples, dtype=complex)
+        if samples.ndim == 1:
+            samples = samples.reshape(1, -1)
+        if samples.shape[0] != self.n_tx:
+            raise DimensionError(
+                f"channel expects {self.n_tx} transmit antennas, got {samples.shape[0]}"
+            )
+        n_samples = samples.shape[1]
+        out = np.zeros((self.n_rx, n_samples), dtype=complex)
+        for rx in range(self.n_rx):
+            for tx in range(self.n_tx):
+                impulse = self.taps[:, rx, tx]
+                out[rx] += np.convolve(samples[tx], impulse)[:n_samples]
+        return out
+
+    # -- composition ------------------------------------------------------------
+
+    def scaled(self, gain: float) -> "MultipathChannel":
+        """Return a copy with every tap scaled by ``sqrt(gain)`` (power gain)."""
+        return MultipathChannel(taps=self.taps * np.sqrt(gain))

@@ -1,0 +1,52 @@
+"""Channel reciprocity with calibration error.
+
+n+ transmitters learn the channel *to* the receivers of ongoing
+transmissions by overhearing those receivers' light-weight CTS messages
+and applying reciprocity (§2).  Real hardware adds its own transmit/receive
+chains on top of the over-the-air channel; the paper calibrates those
+offline (footnote 2), leaving a small residual error.  This module models
+that pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.channel.hardware import HardwareProfile
+
+__all__ = ["reverse_channel", "calibrated_reverse_channel"]
+
+
+def reverse_channel(forward: np.ndarray) -> np.ndarray:
+    """The ideal reverse channel: the transpose of the forward channel.
+
+    ``forward[j, i]`` is the gain from antenna ``i`` of node A to antenna
+    ``j`` of node B; electromagnetics makes the reverse gain identical, so
+    the B-to-A matrix is the transpose (not the conjugate transpose).
+    """
+    return np.asarray(forward, dtype=complex).T.copy()
+
+
+def calibrated_reverse_channel(
+    forward: np.ndarray,
+    hardware: HardwareProfile,
+    rng: np.random.Generator,
+    calibration_quality_db: Optional[float] = None,
+) -> np.ndarray:
+    """Reverse channel as estimated by a real node after calibration.
+
+    The result equals the true reverse channel plus a complex Gaussian
+    calibration/estimation error ``calibration_quality_db`` below the
+    channel power (defaults to the hardware profile's reciprocity error).
+    """
+    ideal = reverse_channel(forward)
+    if calibration_quality_db is None:
+        return hardware.perturb_channel(ideal, rng, reciprocity=True)
+    power = float(np.mean(np.abs(ideal) ** 2)) if ideal.size else 0.0
+    variance = power * 10 ** (calibration_quality_db / 10.0)
+    error = np.sqrt(variance / 2.0) * (
+        rng.standard_normal(ideal.shape) + 1j * rng.standard_normal(ideal.shape)
+    )
+    return ideal + error

@@ -1,0 +1,220 @@
+"""A synthetic testbed standing in for the paper's Fig. 10 deployment.
+
+The paper evaluates n+ on ~20 USRP2 node locations spread over an office
+floor, mixing line-of-sight and non-line-of-sight links, and repeats each
+experiment with nodes assigned to random locations.  We reproduce the
+*statistics* that matter for the results -- link SNRs spanning roughly
+5-32 dB, frequency-selective fading, and independent channels per antenna
+pair -- with a log-distance path-loss model plus log-normal shadowing and
+Rayleigh/Rician multipath.
+
+All link budgets are expressed relative to the receiver noise floor, so a
+"channel" handed to the MIMO/PHY layers is already scaled such that a
+unit-power transmit signal arrives with the link's SNR when the noise has
+unit power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.channel.hardware import HardwareProfile
+from repro.channel.multipath import MultipathChannel
+from repro.constants import MAX_TX_POWER_DBM, NOISE_FLOOR_DBM
+from repro.exceptions import ConfigurationError
+from repro.utils.db import db_to_linear
+
+__all__ = ["Testbed", "TestbedLink", "default_testbed"]
+
+
+@dataclass(frozen=True)
+class TestbedLink:
+    """A directional link between two placed nodes.
+
+    Attributes
+    ----------
+    tx_location, rx_location:
+        Indices into the testbed's location list.
+    snr_db:
+        Average SNR of the link at full transmit power (single antenna,
+        unit-power stream).
+    channel:
+        The frequency-selective MIMO channel, scaled so that the average
+        per-antenna-pair power gain equals the linear SNR (i.e. noise has
+        unit power at the receiver).
+    """
+
+    tx_location: int
+    rx_location: int
+    snr_db: float
+    channel: MultipathChannel
+
+    @property
+    def average_matrix(self) -> np.ndarray:
+        """Frequency-averaged channel matrix."""
+        return self.channel.average_matrix()
+
+    def frequency_response(self, fft_size: int = 64) -> np.ndarray:
+        """Per-subcarrier channel matrices, shape ``(fft_size, n_rx, n_tx)``."""
+        return self.channel.frequency_response(fft_size)
+
+
+@dataclass
+class Testbed:
+    """The synthetic deployment area.
+
+    Attributes
+    ----------
+    locations:
+        Candidate node positions in metres.
+    tx_power_dbm:
+        Transmit power used for link budgets.
+    noise_floor_dbm:
+        Receiver noise floor.
+    path_loss_exponent:
+        Log-distance path-loss exponent (office environments: ~3).
+    reference_loss_db:
+        Path loss at the 1 m reference distance.
+    shadowing_sigma_db:
+        Standard deviation of log-normal shadowing.
+    los_probability:
+        Probability that a link is treated as line-of-sight (Rician).
+    n_taps:
+        Multipath taps per link (within the cyclic prefix).
+    hardware:
+        The hardware impairment profile shared by all nodes.
+    min_snr_db, max_snr_db:
+        Links are clamped into this SNR range, mirroring the 5-32 dB
+        operating range reported in §6.2.
+    """
+
+    locations: List[Tuple[float, float]]
+    tx_power_dbm: float = MAX_TX_POWER_DBM
+    noise_floor_dbm: float = NOISE_FLOOR_DBM
+    path_loss_exponent: float = 3.3
+    reference_loss_db: float = 56.7
+    shadowing_sigma_db: float = 6.0
+    los_probability: float = 0.35
+    n_taps: int = 3
+    hardware: HardwareProfile = field(default_factory=HardwareProfile)
+    min_snr_db: float = 5.0
+    max_snr_db: float = 30.0
+
+    def __post_init__(self) -> None:
+        if len(self.locations) < 2:
+            raise ConfigurationError("a testbed needs at least two locations")
+
+    # -- geometry -----------------------------------------------------------
+
+    @property
+    def n_locations(self) -> int:
+        """Number of candidate node positions."""
+        return len(self.locations)
+
+    def distance(self, a: int, b: int) -> float:
+        """Euclidean distance between two locations, metres."""
+        xa, ya = self.locations[a]
+        xb, yb = self.locations[b]
+        return float(np.hypot(xa - xb, ya - yb))
+
+    def place_nodes(self, n_nodes: int, rng: np.random.Generator) -> List[int]:
+        """Assign ``n_nodes`` nodes to distinct random locations."""
+        if n_nodes > self.n_locations:
+            raise ConfigurationError(
+                f"cannot place {n_nodes} nodes on {self.n_locations} locations"
+            )
+        return list(rng.choice(self.n_locations, size=n_nodes, replace=False))
+
+    # -- link budget ----------------------------------------------------------
+
+    def path_loss_db(self, a: int, b: int) -> float:
+        """Deterministic log-distance path loss between two locations."""
+        distance = max(self.distance(a, b), 1.0)
+        return self.reference_loss_db + 10 * self.path_loss_exponent * np.log10(distance)
+
+    def link_snr_db(self, a: int, b: int, rng: Optional[np.random.Generator] = None) -> float:
+        """Average link SNR (dB) including shadowing, clamped to the
+        testbed's operating range."""
+        loss = self.path_loss_db(a, b)
+        if rng is not None:
+            loss += rng.normal(0.0, self.shadowing_sigma_db)
+        snr = self.tx_power_dbm - loss - self.noise_floor_dbm
+        return float(np.clip(snr, self.min_snr_db, self.max_snr_db))
+
+    # -- channel generation ------------------------------------------------------
+
+    def link(
+        self,
+        tx_location: int,
+        rx_location: int,
+        n_tx: int,
+        n_rx: int,
+        rng: np.random.Generator,
+        snr_db: Optional[float] = None,
+    ) -> TestbedLink:
+        """Draw the channel of a link.
+
+        Parameters
+        ----------
+        tx_location, rx_location:
+            Location indices of the two endpoints.
+        n_tx, n_rx:
+            Antenna counts.
+        rng:
+            Random generator (placements, shadowing and fading).
+        snr_db:
+            Force the average link SNR instead of deriving it from the
+            geometry; used by controlled experiments such as Fig. 11.
+        """
+        if snr_db is None:
+            snr_db = self.link_snr_db(tx_location, rx_location, rng)
+        line_of_sight = rng.random() < self.los_probability
+        if line_of_sight:
+            # A strong first tap plus weak scattering.
+            decay = 0.6
+        else:
+            decay = 1.5
+        channel = MultipathChannel.random(
+            n_rx=n_rx,
+            n_tx=n_tx,
+            rng=rng,
+            n_taps=self.n_taps,
+            decay_samples=decay,
+            average_gain=float(db_to_linear(snr_db)),
+        )
+        return TestbedLink(
+            tx_location=tx_location,
+            rx_location=rx_location,
+            snr_db=float(snr_db),
+            channel=channel,
+        )
+
+    def link_between_placed(
+        self,
+        placements: Sequence[int],
+        tx_index: int,
+        rx_index: int,
+        n_tx: int,
+        n_rx: int,
+        rng: np.random.Generator,
+    ) -> TestbedLink:
+        """Convenience wrapper: link between two already-placed nodes."""
+        return self.link(placements[tx_index], placements[rx_index], n_tx, n_rx, rng)
+
+
+def default_testbed(hardware: Optional[HardwareProfile] = None) -> Testbed:
+    """The default synthetic floor plan.
+
+    Twenty candidate locations laid out over a ~30 m x 20 m office floor:
+    a central corridor (mostly line-of-sight links) and offices on either
+    side (non-line-of-sight), echoing the deployment sketched in Fig. 10.
+    """
+    corridor = [(5.0 * i, 10.0) for i in range(1, 7)]
+    north_offices = [(4.0 + 6.0 * i, 16.5) for i in range(5)]
+    south_offices = [(4.0 + 6.0 * i, 3.5) for i in range(5)]
+    corners = [(1.0, 1.0), (29.0, 1.0), (1.0, 19.0), (29.0, 19.0)]
+    locations = corridor + north_offices + south_offices + corners
+    return Testbed(locations=locations, hardware=hardware or HardwareProfile())

@@ -1,0 +1,139 @@
+"""Command-line interface for running the paper's experiments.
+
+Installed as a module runner::
+
+    python -m repro.cli fig9
+    python -m repro.cli fig11 --trials 1000
+    python -m repro.cli fig12 --runs 10 --duration-ms 100
+    python -m repro.cli fig13 --runs 10
+    python -m repro.cli handshake
+    python -m repro.cli all --quick
+
+Each sub-command runs the corresponding experiment from
+:mod:`repro.experiments` and prints the same summary rows the benchmark
+harness produces.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments import fig9_carrier_sense as fig9
+from repro.experiments import fig11_nulling_alignment as fig11
+from repro.experiments import fig12_throughput as fig12
+from repro.experiments import fig13_heterogeneous as fig13
+from repro.experiments import handshake_overhead as handshake
+from repro.sim.runner import SimulationConfig
+
+__all__ = ["main", "build_parser"]
+
+
+def _print_header(title: str) -> None:
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}\n{bar}")
+
+
+def _run_fig9(args: argparse.Namespace) -> None:
+    _print_header("Fig. 9 -- carrier sense in the presence of ongoing transmissions")
+    result = fig9.run_carrier_sense_experiment(n_trials=args.trials, seed=args.seed)
+    print(fig9.summarize(result))
+
+
+def _run_fig11(args: argparse.Namespace) -> None:
+    _print_header("Fig. 11 -- residual error of nulling and alignment")
+    nulling = fig11.run_nulling_experiment(n_trials=args.trials, seed=args.seed)
+    alignment = fig11.run_alignment_experiment(n_trials=args.trials, seed=args.seed + 1)
+    print(fig11.summarize(nulling))
+    print()
+    print(fig11.summarize(alignment))
+
+
+def _simulation_config(args: argparse.Namespace) -> SimulationConfig:
+    return SimulationConfig(
+        duration_us=args.duration_ms * 1000.0,
+        n_subcarriers=args.subcarriers,
+    )
+
+
+def _run_fig12(args: argparse.Namespace) -> None:
+    _print_header("Fig. 12 -- throughput of n+ vs 802.11n (three-pair scenario)")
+    experiment = fig12.run_throughput_experiment(
+        n_runs=args.runs, seed=args.seed, config=_simulation_config(args)
+    )
+    print(fig12.summarize(experiment))
+
+
+def _run_fig13(args: argparse.Namespace) -> None:
+    _print_header("Fig. 13 -- heterogeneous scenario vs 802.11n and beamforming")
+    experiment = fig13.run_heterogeneous_experiment(
+        n_runs=args.runs, seed=args.seed, config=_simulation_config(args)
+    )
+    print(fig13.summarize(experiment))
+
+
+def _run_handshake(args: argparse.Namespace) -> None:
+    _print_header("§3.5 -- light-weight handshake overhead")
+    result = handshake.run_handshake_experiment(n_channels=args.trials, seed=args.seed)
+    print(handshake.summarize(result))
+
+
+def _run_all(args: argparse.Namespace) -> None:
+    if args.quick:
+        args.trials = min(args.trials, 200)
+        args.runs = min(args.runs, 4)
+        args.duration_ms = min(args.duration_ms, 40.0)
+    for runner in (_run_fig9, _run_fig11, _run_handshake, _run_fig12, _run_fig13):
+        start = time.time()
+        runner(args)
+        print(f"[{runner.__name__[5:]}] finished in {time.time() - start:.1f} s")
+
+
+_COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
+    "fig9": _run_fig9,
+    "fig11": _run_fig11,
+    "fig12": _run_fig12,
+    "fig13": _run_fig13,
+    "handshake": _run_handshake,
+    "all": _run_all,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the evaluation of 'Random Access Heterogeneous MIMO Networks'.",
+    )
+    parser.add_argument("command", choices=sorted(_COMMANDS), help="experiment to run")
+    parser.add_argument("--seed", type=int, default=0, help="base random seed")
+    parser.add_argument(
+        "--trials", type=int, default=400, help="trials for the signal-level experiments"
+    )
+    parser.add_argument(
+        "--runs", type=int, default=8, help="random placements for the throughput experiments"
+    )
+    parser.add_argument(
+        "--duration-ms", type=float, default=80.0, help="simulated time per run, milliseconds"
+    )
+    parser.add_argument(
+        "--subcarriers", type=int, default=12, help="subcarriers tracked by the link abstraction"
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="shrink every experiment (used with 'all')"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point: parse arguments and run the selected experiment."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    _COMMANDS[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

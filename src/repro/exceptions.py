@@ -1,0 +1,43 @@
+"""Exception hierarchy for the 802.11n+ reproduction library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a component is configured with inconsistent parameters."""
+
+
+class DimensionError(ReproError):
+    """Raised when array shapes or antenna counts are incompatible."""
+
+
+class PrecodingError(ReproError):
+    """Raised when no valid pre-coding vectors exist for a request.
+
+    Typical causes: the transmitter asks for more streams than its free
+    degrees of freedom (Claim 3.2), or the stacked nulling/alignment
+    constraints are rank deficient in a way that leaves no usable null
+    space.
+    """
+
+
+class DecodingError(ReproError):
+    """Raised when a receiver cannot decode a frame (CRC failure, rank
+    deficiency of the wanted-stream channel, or an unsupported bitrate)."""
+
+
+class SynchronizationError(ReproError):
+    """Raised when packet detection or symbol synchronization fails."""
+
+
+class MediumAccessError(ReproError):
+    """Raised on protocol violations in the MAC simulation, e.g. a node
+    attempting to join more streams than the available degrees of freedom."""
+
+
+class SimulationError(ReproError):
+    """Raised by the discrete-event engine on scheduling errors."""

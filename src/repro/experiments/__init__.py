@@ -1,0 +1,46 @@
+"""Runnable reproductions of every figure in the paper's evaluation.
+
+Each module exposes a ``run_*`` function returning a small result
+dataclass, plus a ``summarize`` helper that renders the same rows/series
+the paper reports:
+
+* :mod:`repro.experiments.fig9_carrier_sense` -- carrier sense with and
+  without projection (power profile and correlation CDFs, Fig. 9).
+* :mod:`repro.experiments.fig11_nulling_alignment` -- residual SNR loss of
+  the wanted stream after nulling and alignment (Fig. 11).
+* :mod:`repro.experiments.fig12_throughput` -- throughput CDFs of n+ vs
+  802.11n in the three-pair scenario (Fig. 12).
+* :mod:`repro.experiments.fig13_heterogeneous` -- throughput gains in the
+  heterogeneous AP/client scenario vs 802.11n and beamforming (Fig. 13).
+* :mod:`repro.experiments.handshake_overhead` -- the light-weight
+  handshake overhead estimate of §3.5.
+* :mod:`repro.experiments.report` -- plain-text table formatting shared by
+  the benchmarks and examples.
+"""
+
+from repro.experiments.fig9_carrier_sense import CarrierSenseExperiment, run_carrier_sense_experiment
+from repro.experiments.fig11_nulling_alignment import (
+    ResidualErrorExperiment,
+    run_nulling_experiment,
+    run_alignment_experiment,
+)
+from repro.experiments.fig12_throughput import ThroughputExperiment, run_throughput_experiment
+from repro.experiments.fig13_heterogeneous import (
+    HeterogeneousExperiment,
+    run_heterogeneous_experiment,
+)
+from repro.experiments.handshake_overhead import HandshakeExperiment, run_handshake_experiment
+
+__all__ = [
+    "CarrierSenseExperiment",
+    "run_carrier_sense_experiment",
+    "ResidualErrorExperiment",
+    "run_nulling_experiment",
+    "run_alignment_experiment",
+    "ThroughputExperiment",
+    "run_throughput_experiment",
+    "HeterogeneousExperiment",
+    "run_heterogeneous_experiment",
+    "HandshakeExperiment",
+    "run_handshake_experiment",
+]

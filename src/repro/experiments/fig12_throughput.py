@@ -1,0 +1,124 @@
+"""Fig. 12 -- throughput of n+ vs 802.11n in the three-pair scenario.
+
+The experiment sweeps random node placements of the Fig. 3 topology
+(1-, 2- and 3-antenna pairs), runs both protocols on the same channel
+realisations, and collects the CDFs the paper plots: total network
+throughput and per-pair throughput.  The headline numbers of §6.3 are
+derived from the same data: the total roughly doubles, the 2-antenna
+pair gains ~1.5x, the 3-antenna pair gains ~3.5x and the single-antenna
+pair loses only a few percent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.experiments.report import format_cdf_summary, format_table
+from repro.sim.runner import SimulationConfig, run_many
+from repro.sim.scenarios import three_pair_scenario
+
+__all__ = ["ThroughputExperiment", "run_throughput_experiment", "summarize"]
+
+#: Pair names of the three-pair scenario, in antenna order.
+PAIR_NAMES = ("tx1->rx1", "tx2->rx2", "tx3->rx3")
+
+
+@dataclass
+class ThroughputExperiment:
+    """Results of the Fig. 12 reproduction.
+
+    Attributes
+    ----------
+    totals:
+        Total network throughput per run, keyed by protocol (Mb/s).
+    per_pair:
+        Per-pair throughput per run, keyed by protocol then pair name.
+    """
+
+    totals: Dict[str, List[float]] = field(default_factory=dict)
+    per_pair: Dict[str, Dict[str, List[float]]] = field(default_factory=dict)
+
+    # -- derived summaries ------------------------------------------------------
+
+    def average_total(self, protocol: str) -> float:
+        """Mean total throughput of a protocol."""
+        return float(np.mean(self.totals[protocol])) if self.totals.get(protocol) else 0.0
+
+    def total_gain(self) -> float:
+        """Mean per-run ratio of n+ total throughput to 802.11n's."""
+        return self._gain_over("802.11n", None)
+
+    def pair_gain(self, pair_name: str) -> float:
+        """Mean per-run throughput ratio of one pair (n+ / 802.11n)."""
+        return self._gain_over("802.11n", pair_name)
+
+    def _gain_over(self, baseline: str, pair_name: Optional[str]) -> float:
+        gains = []
+        n_runs = len(self.totals.get("n+", []))
+        for run in range(n_runs):
+            if pair_name is None:
+                numerator = self.totals["n+"][run]
+                denominator = self.totals[baseline][run]
+            else:
+                numerator = self.per_pair["n+"][pair_name][run]
+                denominator = self.per_pair[baseline][pair_name][run]
+            if denominator > 1e-9:
+                gains.append(numerator / denominator)
+        return float(np.mean(gains)) if gains else float("nan")
+
+
+def run_throughput_experiment(
+    n_runs: int = 20,
+    duration_us: float = 120_000.0,
+    seed: int = 0,
+    config: Optional[SimulationConfig] = None,
+) -> ThroughputExperiment:
+    """Run the Fig. 12 sweep.
+
+    Parameters
+    ----------
+    n_runs:
+        Number of random placements (each run compares both protocols on
+        the same channels).
+    duration_us:
+        Simulated time per run.
+    seed:
+        Base random seed.
+    config:
+        Override the full simulation configuration (``duration_us`` is
+        ignored if this is given).
+    """
+    config = config or SimulationConfig(duration_us=duration_us)
+    protocols = ["802.11n", "n+"]
+    raw = run_many(three_pair_scenario, protocols, n_runs=n_runs, seed=seed, config=config)
+
+    experiment = ThroughputExperiment()
+    for protocol in protocols:
+        experiment.totals[protocol] = [m.total_throughput_mbps() for m in raw[protocol]]
+        experiment.per_pair[protocol] = {
+            name: [m.throughput_mbps(name) for m in raw[protocol]] for name in PAIR_NAMES
+        }
+    return experiment
+
+
+def summarize(experiment: ThroughputExperiment) -> str:
+    """Render the Fig. 12 CDover summaries and the §6.3 headline gains."""
+    lines = ["-- Fig. 12(a): total network throughput (Mb/s) --"]
+    for protocol in experiment.totals:
+        lines.append(format_cdf_summary(protocol, experiment.totals[protocol]))
+    for index, pair in enumerate(PAIR_NAMES, start=2):
+        lines.append(f"-- Fig. 12({chr(ord('a') + index - 1)}): throughput of {pair} (Mb/s) --")
+        for protocol in experiment.per_pair:
+            lines.append(format_cdf_summary(protocol, experiment.per_pair[protocol][pair]))
+    rows = [
+        ["total network throughput", f"{experiment.total_gain():.2f}x"],
+        ["single-antenna pair (tx1)", f"{experiment.pair_gain('tx1->rx1'):.2f}x"],
+        ["2-antenna pair (tx2)", f"{experiment.pair_gain('tx2->rx2'):.2f}x"],
+        ["3-antenna pair (tx3)", f"{experiment.pair_gain('tx3->rx3'):.2f}x"],
+    ]
+    lines.append("-- throughput gain of n+ over 802.11n (mean of per-run ratios) --")
+    lines.append(format_table(["quantity", "gain"], rows))
+    return "\n".join(lines)

@@ -1,0 +1,102 @@
+"""Fig. 13 -- heterogeneous transmitter/receiver antenna counts.
+
+The Fig. 4 topology: a single-antenna client c1 sends uplink traffic to a
+2-antenna AP1 while a 3-antenna AP2 sends downlink traffic to two
+2-antenna clients.  n+ is compared against both today's 802.11n and the
+multi-user beamforming baseline of Aryafar et al. [7].  Expected shape:
+n+ beats both baselines in total throughput (the paper reports 2.4x over
+802.11n and 1.8x over beamforming), the AP's clients gain the most, and
+the single-antenna client loses only slightly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.experiments.report import format_cdf_summary, format_table
+from repro.sim.runner import SimulationConfig, run_many
+from repro.sim.scenarios import heterogeneous_ap_scenario
+
+__all__ = ["HeterogeneousExperiment", "run_heterogeneous_experiment", "summarize"]
+
+#: The two flows of the Fig. 4 scenario.
+FLOW_NAMES = ("c1->AP1", "AP2->c2+c3")
+
+
+@dataclass
+class HeterogeneousExperiment:
+    """Results of the Fig. 13 reproduction.
+
+    Attributes
+    ----------
+    totals:
+        Total throughput per run, keyed by protocol.
+    per_flow:
+        Per-flow throughput per run, keyed by protocol then flow name.
+    """
+
+    totals: Dict[str, List[float]] = field(default_factory=dict)
+    per_flow: Dict[str, Dict[str, List[float]]] = field(default_factory=dict)
+
+    def gain_over(self, baseline: str, flow: Optional[str] = None) -> List[float]:
+        """Per-run throughput ratios of n+ over ``baseline``."""
+        gains = []
+        for run in range(len(self.totals.get("n+", []))):
+            if flow is None:
+                numerator = self.totals["n+"][run]
+                denominator = self.totals[baseline][run]
+            else:
+                numerator = self.per_flow["n+"][flow][run]
+                denominator = self.per_flow[baseline][flow][run]
+            if denominator > 1e-9:
+                gains.append(numerator / denominator)
+        return gains
+
+    def mean_gain_over(self, baseline: str, flow: Optional[str] = None) -> float:
+        """Mean of :meth:`gain_over`."""
+        gains = self.gain_over(baseline, flow)
+        return float(np.mean(gains)) if gains else float("nan")
+
+
+def run_heterogeneous_experiment(
+    n_runs: int = 20,
+    duration_us: float = 120_000.0,
+    seed: int = 0,
+    config: Optional[SimulationConfig] = None,
+) -> HeterogeneousExperiment:
+    """Run the Fig. 13 sweep over random placements."""
+    config = config or SimulationConfig(duration_us=duration_us)
+    protocols = ["802.11n", "beamforming", "n+"]
+    raw = run_many(
+        heterogeneous_ap_scenario, protocols, n_runs=n_runs, seed=seed, config=config
+    )
+    experiment = HeterogeneousExperiment()
+    for protocol in protocols:
+        experiment.totals[protocol] = [m.total_throughput_mbps() for m in raw[protocol]]
+        experiment.per_flow[protocol] = {
+            name: [m.throughput_mbps(name) for m in raw[protocol]] for name in FLOW_NAMES
+        }
+    return experiment
+
+
+def summarize(experiment: HeterogeneousExperiment) -> str:
+    """Render the Fig. 13 gain CDFs and headline ratios."""
+    lines = ["-- total throughput per protocol (Mb/s) --"]
+    for protocol in experiment.totals:
+        lines.append(format_cdf_summary(protocol, experiment.totals[protocol]))
+    for baseline, figure in (("802.11n", "Fig. 13(a)"), ("beamforming", "Fig. 13(b)")):
+        lines.append(f"-- {figure}: throughput gain of n+ over {baseline} --")
+        lines.append(format_cdf_summary("total gain", experiment.gain_over(baseline)))
+        for flow in FLOW_NAMES:
+            lines.append(format_cdf_summary(f"gain of {flow}", experiment.gain_over(baseline, flow)))
+    rows = [
+        ["total, vs 802.11n", f"{experiment.mean_gain_over('802.11n'):.2f}x"],
+        ["total, vs beamforming", f"{experiment.mean_gain_over('beamforming'):.2f}x"],
+        ["single-antenna client (c1), vs 802.11n", f"{experiment.mean_gain_over('802.11n', 'c1->AP1'):.2f}x"],
+        ["AP2 downlink flows, vs 802.11n", f"{experiment.mean_gain_over('802.11n', 'AP2->c2+c3'):.2f}x"],
+    ]
+    lines.append(format_table(["quantity", "gain"], rows))
+    return "\n".join(lines)

@@ -1,0 +1,226 @@
+"""The base MAC agent shared by n+, 802.11n and the beamforming baseline.
+
+An agent owns one traffic pair: it keeps per-receiver packet queues fed by
+saturated (or Poisson) sources, carries the DCF contention state, knows
+how to plan a transmission on an idle medium, and records the outcome of
+every attempt.  The protocol-specific subclasses override how streams are
+formed (single-user, multi-user beamforming) and whether/how the node
+joins ongoing transmissions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.constants import HEADER_OFDM_SYMBOLS, OFDM_SYMBOL_DURATION_US_10MHZ, SIFS_US
+from repro.exceptions import MediumAccessError
+from repro.mac.aggregation import airtime_for_bits
+from repro.mac.bitrate import choose_bitrate
+from repro.mac.csma import DcfContender
+from repro.mac.retransmission import RetransmissionQueue
+from repro.phy.rates import MCS
+from repro.sim.link_abstraction import receiver_stream_snrs
+from repro.sim.medium import Medium, ScheduledStream
+from repro.sim.node import Station, TrafficPair
+from repro.sim.traffic import SaturatedSource
+
+__all__ = ["BaseMacAgent"]
+
+#: Minimum queued packets kept per receiver so saturated sources never run dry.
+_QUEUE_TARGET = 4
+
+
+class BaseMacAgent:
+    """Common machinery for all MAC protocol agents.
+
+    Parameters
+    ----------
+    pair:
+        The transmitter-receiver pair this agent drives.
+    network:
+        The :class:`repro.sim.network.Network` of the current run.
+    rng:
+        Random generator (backoff draws, delivery coin flips).
+    packet_size_bytes:
+        Payload size of generated packets (1500 in the paper).
+    bitrate_margin_db:
+        Safety margin subtracted from the measured effective SNR before
+        choosing a bitrate.
+    """
+
+    protocol_name = "base"
+    supports_joining = False
+
+    def __init__(
+        self,
+        pair: TrafficPair,
+        network,
+        rng: np.random.Generator,
+        packet_size_bytes: int = 1500,
+        bitrate_margin_db: float = 0.0,
+        packet_rate_pps: Optional[float] = None,
+    ) -> None:
+        self.pair = pair
+        self.network = network
+        self.rng = rng
+        self.bitrate_margin_db = bitrate_margin_db
+        self.contender = DcfContender(node_id=pair.transmitter.node_id)
+        self.queues: Dict[int, RetransmissionQueue] = {}
+        self.sources: Dict[int, object] = {}
+        for receiver in pair.receivers:
+            self.queues[receiver.node_id] = RetransmissionQueue()
+            if packet_rate_pps is None:
+                self.sources[receiver.node_id] = SaturatedSource(
+                    source_id=pair.transmitter.node_id,
+                    destination_id=receiver.node_id,
+                    packet_size_bytes=packet_size_bytes,
+                )
+            else:
+                from repro.sim.traffic import PoissonSource
+
+                self.sources[receiver.node_id] = PoissonSource(
+                    source_id=pair.transmitter.node_id,
+                    destination_id=receiver.node_id,
+                    rate_packets_per_second=packet_rate_pps,
+                    rng=rng,
+                    packet_size_bytes=packet_size_bytes,
+                )
+        self._round_robin = 0
+
+    # -- identity -----------------------------------------------------------------
+
+    @property
+    def node_id(self) -> int:
+        """Id of the transmitting station."""
+        return self.pair.transmitter.node_id
+
+    @property
+    def n_antennas(self) -> int:
+        """Antenna count of the transmitting station."""
+        return self.pair.transmitter.n_antennas
+
+    @property
+    def name(self) -> str:
+        """Readable label of the pair."""
+        return self.pair.name
+
+    # -- traffic --------------------------------------------------------------------
+
+    def refill(self, now_us: float) -> None:
+        """Top up the per-receiver queues from the traffic sources."""
+        for receiver_id, queue in self.queues.items():
+            source = self.sources[receiver_id]
+            while len(queue) < _QUEUE_TARGET and source.has_packet(now_us):
+                queue.enqueue(source.next_packet(now_us))
+
+    def has_traffic(self, now_us: float) -> bool:
+        """Whether the agent wants to contend right now."""
+        self.refill(now_us)
+        return any(queue.has_traffic for queue in self.queues.values())
+
+    def backlog_bits(self, receiver_id: int) -> int:
+        """Unacknowledged bits queued for one receiver."""
+        return self.queues[receiver_id].backlog_bits
+
+    # -- timing helpers ----------------------------------------------------------------
+
+    def header_duration_us(self) -> float:
+        """Airtime of the light-weight data header."""
+        return HEADER_OFDM_SYMBOLS * OFDM_SYMBOL_DURATION_US_10MHZ
+
+    def ack_duration_us(self) -> float:
+        """Airtime of the ACK exchange that follows the data bodies."""
+        return SIFS_US + HEADER_OFDM_SYMBOLS * OFDM_SYMBOL_DURATION_US_10MHZ
+
+    # -- bitrate -------------------------------------------------------------------------
+
+    def _measured_snrs(
+        self,
+        receiver_id: int,
+        planned: Sequence[ScheduledStream],
+        concurrent: Sequence[ScheduledStream],
+    ) -> np.ndarray:
+        """Per-subcarrier post-projection SNRs the receiver would measure on
+        the light-weight RTS of the planned streams (worst stream governs
+        every subcarrier because one failed stream fails the packet)."""
+        wanted = [s for s in planned if s.receiver_id == receiver_id]
+        snrs = receiver_stream_snrs(
+            self.network, receiver_id, wanted, list(concurrent) + list(planned)
+        )
+        per_stream = [snrs[s.stream_id] for s in wanted]
+        if not per_stream:
+            return np.array([0.0])
+        return np.concatenate(per_stream)
+
+    def _select_mcs(
+        self,
+        receiver_id: int,
+        planned: Sequence[ScheduledStream],
+        concurrent: Sequence[ScheduledStream],
+    ) -> MCS:
+        """The bitrate the receiver would feed back for the planned streams.
+
+        The receiver measures the post-projection SNR of each of its wanted
+        streams on the (light-weight) RTS given the transmissions on the
+        air at that moment, computes the effective SNR and picks the
+        fastest adequate MCS; the most constrained stream governs.
+        """
+        return choose_bitrate(
+            self._measured_snrs(receiver_id, planned, concurrent), self.bitrate_margin_db
+        )
+
+    # -- planning (overridden by subclasses) ------------------------------------------------
+
+    def plan_initial(self, start_us: float, medium: Medium) -> List[ScheduledStream]:
+        """Plan a transmission on an idle medium.
+
+        Subclasses implement the stream formation; the base class raises.
+        """
+        raise NotImplementedError
+
+    def can_join(self, now_us: float, medium: Medium, min_airtime_us: float) -> bool:
+        """Whether the agent is eligible for secondary contention."""
+        return False
+
+    def plan_join(
+        self, start_us: float, medium: Medium
+    ) -> Optional[List[ScheduledStream]]:
+        """Plan a transmission joining the ongoing ones (n+ only)."""
+        return None
+
+    # -- outcomes -------------------------------------------------------------------------------
+
+    def record_outcome(
+        self, receiver_id: int, attempted_bits: int, delivered: bool
+    ) -> int:
+        """Update queues and contention state after a transmission.
+
+        Returns the number of bits acknowledged.
+        """
+        if receiver_id not in self.queues:
+            raise MediumAccessError(
+                f"{self.name}: outcome for unknown receiver {receiver_id}"
+            )
+        queue = self.queues[receiver_id]
+        if delivered:
+            queue.acknowledge(attempted_bits)
+            self.contender.record_success()
+            return attempted_bits
+        queue.fail()
+        self.contender.record_collision()
+        return 0
+
+    # -- shared helpers for subclasses -------------------------------------------------------------
+
+    def _equal_power(self, n_streams: int, power_scale: float = 1.0) -> float:
+        """Per-stream transmit power with an equal split of the budget."""
+        if n_streams <= 0:
+            return 0.0
+        return power_scale / n_streams
+
+    def _constant_precoders(self, vector: np.ndarray) -> np.ndarray:
+        """Tile a single pre-coding vector across all tracked subcarriers."""
+        vector = np.asarray(vector, dtype=complex)
+        return np.tile(vector, (self.network.n_subcarriers, 1))

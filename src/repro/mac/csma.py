@@ -1,0 +1,107 @@
+"""DCF-style contention: contention windows, backoff and collision
+resolution.
+
+Both the primary contention (for an idle medium) and n+'s secondary
+contention (for unused degrees of freedom, sensed through the projection
+of §3.2) use 802.11's contention-window/backoff machinery.  The simulator
+resolves each contention round in one step: every contender draws a
+backoff counter, the smallest counter wins, and ties are collisions --
+the standard "condensed" DCF model, which preserves the win/collision
+statistics of slot-by-slot simulation for saturated sources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.constants import CW_MAX, CW_MIN, DIFS_US, SLOT_TIME_US
+
+__all__ = ["DcfContender", "ContentionRound", "resolve_contention"]
+
+
+@dataclass
+class DcfContender:
+    """Per-node DCF state: the contention window and retry count.
+
+    Attributes
+    ----------
+    node_id:
+        Identifier of the contending node.
+    cw_min, cw_max:
+        Contention-window bounds (in slots).
+    """
+
+    node_id: int
+    cw_min: int = CW_MIN
+    cw_max: int = CW_MAX
+    _cw: int = field(default=CW_MIN, repr=False)
+
+    def draw_backoff(self, rng: np.random.Generator) -> int:
+        """Draw a uniform backoff counter from the current window."""
+        return int(rng.integers(0, self._cw + 1))
+
+    def record_collision(self) -> None:
+        """Binary exponential backoff after a collision."""
+        self._cw = min(2 * (self._cw + 1) - 1, self.cw_max)
+
+    def record_success(self) -> None:
+        """Reset the window after a successful transmission."""
+        self._cw = self.cw_min
+
+    @property
+    def contention_window(self) -> int:
+        """Current contention window (slots)."""
+        return self._cw
+
+
+@dataclass(frozen=True)
+class ContentionRound:
+    """Result of resolving one contention round.
+
+    Attributes
+    ----------
+    winners:
+        Node ids that start transmitting (more than one means collision).
+    backoff_slots:
+        The winning backoff value.
+    start_delay_us:
+        Time from the start of the round until the winners transmit
+        (DIFS + backoff slots).
+    collision:
+        Whether two or more nodes picked the same smallest backoff.
+    """
+
+    winners: Tuple[int, ...]
+    backoff_slots: int
+    start_delay_us: float
+    collision: bool
+
+
+def resolve_contention(
+    contenders: Sequence[DcfContender],
+    rng: np.random.Generator,
+    difs_us: float = DIFS_US,
+    slot_us: float = SLOT_TIME_US,
+) -> ContentionRound:
+    """Resolve one contention round among ``contenders``.
+
+    Every contender draws a backoff; the smallest value wins.  Ties are
+    collisions: all tied nodes "transmit" and the caller treats their
+    frames as lost.  The contention-window updates (doubling on collision,
+    reset on success) are the caller's responsibility because it knows the
+    eventual outcome of the transmission.
+    """
+    if not contenders:
+        return ContentionRound(winners=(), backoff_slots=0, start_delay_us=difs_us, collision=False)
+    draws: Dict[int, int] = {c.node_id: c.draw_backoff(rng) for c in contenders}
+    smallest = min(draws.values())
+    winners = tuple(sorted(node for node, value in draws.items() if value == smallest))
+    return ContentionRound(
+        winners=winners,
+        backoff_slots=smallest,
+        start_delay_us=difs_us + smallest * slot_us,
+        collision=len(winners) > 1,
+    )

@@ -1,0 +1,267 @@
+"""The 802.11n+ MAC protocol.
+
+n+ behaves like 802.11 when the medium is idle (carrier sense, contention
+window, random backoff).  The differences appear once somebody is
+transmitting (§3.1):
+
+* nodes with more antennas than the number of ongoing streams keep
+  carrier sensing in the subspace orthogonal to those streams
+  (multi-dimensional carrier sense, §3.2) and contend for the unused
+  degrees of freedom;
+* a secondary-contention winner joins the ongoing transmission, pre-coding
+  its streams so they null at fully-loaded receivers and align inside the
+  unwanted space of the others (§3.3), subject to the L-threshold power
+  rule (§4);
+* the joiner sizes its payload so its transmission ends together with the
+  ongoing ones (fragmentation/aggregation), and its receiver picks the
+  bitrate per packet from the post-projection effective SNR (§3.4).
+
+Because the paper's heterogeneous scenario (Fig. 4) lets a single n+
+transmitter serve several receivers at once, the idle-medium behaviour is
+inherited from the multi-user beamforming planner; with a single receiver
+it reduces to plain spatial multiplexing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.constants import (
+    NPLUS_ACK_HEADER_EXTRA_SYMBOLS,
+    NPLUS_DATA_HEADER_EXTRA_SYMBOLS,
+    OFDM_SYMBOL_DURATION_US_10MHZ,
+    SIFS_US,
+)
+from repro.exceptions import PrecodingError
+from repro.mac.aggregation import bits_in_airtime
+from repro.mac.beamforming import BeamformingMac, distribute_streams
+from repro.mac.bitrate import choose_bitrate
+from repro.mac.plan import PlannedReceiver, ProtectedReceiver, plan_join
+from repro.mimo.dof import InterferenceStrategy, choose_strategy
+from repro.phy.rates import MCS_TABLE
+from repro.sim.link_abstraction import announced_decoding_subspace, interference_directions_at
+from repro.sim.medium import Medium, ScheduledStream
+
+__all__ = ["NPlusMac"]
+
+
+class NPlusMac(BeamformingMac):
+    """The n+ protocol agent: contend for time *and* degrees of freedom."""
+
+    protocol_name = "n+"
+    supports_joining = True
+
+    # -- timing -------------------------------------------------------------------
+
+    def header_duration_us(self) -> float:
+        """The n+ data header carries one extra OFDM symbol (§3.5)."""
+        return super().header_duration_us() + (
+            NPLUS_DATA_HEADER_EXTRA_SYMBOLS * OFDM_SYMBOL_DURATION_US_10MHZ
+        )
+
+    def ack_duration_us(self) -> float:
+        """The n+ ACK header adds the alignment space and bitrate feedback
+        (about four OFDM symbols) plus one extra SIFS of the light-weight
+        handshake."""
+        return (
+            super().ack_duration_us()
+            + NPLUS_ACK_HEADER_EXTRA_SYMBOLS * OFDM_SYMBOL_DURATION_US_10MHZ
+            + SIFS_US
+        )
+
+    # -- secondary contention ------------------------------------------------------
+
+    def can_join(self, now_us: float, medium: Medium, min_airtime_us: float) -> bool:
+        """Eligibility for secondary contention (multi-dimensional carrier
+        sense says the next degree of freedom is free)."""
+        if not medium.busy:
+            return False
+        if not self.has_traffic(now_us):
+            return False
+        used = medium.used_degrees_of_freedom
+        if self.n_antennas <= used:
+            return False
+        if self.node_id in medium.transmitting_nodes():
+            return False
+        if self.node_id in medium.receiving_nodes():
+            return False
+        if medium.current_end_us - now_us < min_airtime_us:
+            return False
+        # At least one of our receivers must have a spare dimension left
+        # after projecting out the ongoing streams.
+        return any(
+            self.network.station(r.node_id).n_antennas > used
+            and self.queues[r.node_id].has_traffic
+            for r in self.pair.receivers
+        )
+
+    def _protected_receivers(self, medium: Medium) -> List[ProtectedReceiver]:
+        """Build the protection constraints from the overheard headers."""
+        protected: List[ProtectedReceiver] = []
+        for receiver_id in medium.receiving_nodes():
+            wanted = medium.streams_to(receiver_id)
+            station = self.network.station(receiver_id)
+            n_wanted = len(wanted)
+            strategy = choose_strategy(station.n_antennas, n_wanted)
+            if strategy is InterferenceStrategy.NULL:
+                u_perp = None
+            else:
+                others = [
+                    s
+                    for s in medium.active_streams
+                    if s.receiver_id != receiver_id and not s.protects(receiver_id)
+                ]
+                u_perp = announced_decoding_subspace(self.network, receiver_id, wanted, others)
+            protected.append(
+                ProtectedReceiver(
+                    receiver_id=receiver_id,
+                    n_antennas=station.n_antennas,
+                    n_wanted_streams=n_wanted,
+                    channel=self.network.estimated_channel(
+                        self.node_id, receiver_id, reciprocity=True
+                    ),
+                    u_perp=u_perp,
+                )
+            )
+        return protected
+
+    def _own_receivers(self, medium: Medium, max_streams: int) -> List[PlannedReceiver]:
+        """Choose which of our receivers take the new streams and build
+        their planning records."""
+        used = medium.used_degrees_of_freedom
+        candidates = []
+        capacities = []
+        for receiver in self.pair.receivers:
+            if not self.queues[receiver.node_id].has_traffic:
+                continue
+            capacity = receiver.n_antennas - used
+            if capacity <= 0:
+                continue
+            candidates.append(receiver)
+            capacities.append(capacity)
+        if not candidates:
+            return []
+        allocation = distribute_streams(max_streams, capacities)
+        planned: List[PlannedReceiver] = []
+        for receiver, n_streams in zip(candidates, allocation):
+            if n_streams == 0:
+                continue
+            ongoing_at_receiver = interference_directions_at(
+                self.network, receiver.node_id, medium.active_streams
+            )
+            u_perp = _subspace_orthogonal_to(ongoing_at_receiver, receiver.n_antennas, n_streams)
+            planned.append(
+                PlannedReceiver(
+                    receiver_id=receiver.node_id,
+                    n_antennas=receiver.n_antennas,
+                    n_streams=n_streams,
+                    channel=self.network.estimated_channel(self.node_id, receiver.node_id),
+                    u_perp=u_perp,
+                )
+            )
+        return planned
+
+    def plan_join(
+        self, start_us: float, medium: Medium
+    ) -> Optional[List[ScheduledStream]]:
+        """Join the ongoing transmissions without interfering with them."""
+        used = medium.used_degrees_of_freedom
+        max_new = self.n_antennas - used
+        if max_new <= 0:
+            return None
+        protected = self._protected_receivers(medium)
+        receivers = self._own_receivers(medium, max_new)
+        if not receivers:
+            return None
+        try:
+            plan = plan_join(
+                transmitter_id=self.node_id,
+                n_tx_antennas=self.n_antennas,
+                protected=protected,
+                receivers=receivers,
+                noise_power=self.network.noise_power,
+            )
+        except PrecodingError:
+            return None
+
+        end_us = medium.current_end_us
+        if end_us <= start_us:
+            return None
+        join_order = medium.max_join_order() + 1
+        power = plan.power_per_stream()
+        own_receiver_ids = [r.receiver_id for r in receivers]
+
+        streams: List[ScheduledStream] = []
+        for stream_plan in plan.streams:
+            protected_map: Dict[int, InterferenceStrategy] = dict(plan.protects)
+            for other in own_receiver_ids:
+                if other != stream_plan.receiver_id:
+                    protected_map[other] = InterferenceStrategy.ALIGN
+            streams.append(
+                ScheduledStream(
+                    stream_id=medium.next_stream_id(),
+                    transmitter_id=self.node_id,
+                    receiver_id=stream_plan.receiver_id,
+                    precoders=stream_plan.precoders,
+                    power=power,
+                    mcs=MCS_TABLE[0],
+                    payload_bits=0,
+                    start_us=start_us,
+                    end_us=end_us,
+                    join_order=join_order,
+                    protected_receivers=protected_map,
+                )
+            )
+
+        # Per-receiver bitrate (measured after projection, §3.4) and payload
+        # sized to the remaining airtime (fragmentation/aggregation, §3.1).
+        # A receiver whose post-projection effective SNR cannot sustain even
+        # the most robust bitrate declines the join (it would only waste the
+        # degree of freedom on a packet that cannot be decoded).
+        airtime = end_us - start_us
+        any_payload = False
+        from repro.phy.esnr import esnr_for_modulation
+
+        lowest = MCS_TABLE[0]
+        for receiver in receivers:
+            group = [s for s in streams if s.receiver_id == receiver.receiver_id]
+            measured = self._measured_snrs(receiver.receiver_id, streams, medium.active_streams)
+            viable = (
+                esnr_for_modulation(measured, lowest.modulation)
+                >= lowest.min_esnr_db + self.bitrate_margin_db
+            )
+            if not viable:
+                group[0].payload_bits = 0
+                continue
+            mcs = choose_bitrate(measured, self.bitrate_margin_db)
+            capacity = bits_in_airtime(mcs, airtime, len(group))
+            backlog = self.queues[receiver.receiver_id].backlog_bits
+            payload = min(capacity, backlog)
+            group[0].payload_bits = payload
+            for stream in group:
+                stream.mcs = mcs
+            if payload > 0:
+                any_payload = True
+        if not any_payload:
+            return None
+        return streams
+
+
+def _subspace_orthogonal_to(
+    directions: np.ndarray, n_antennas: int, n_streams: int
+) -> np.ndarray:
+    """Per-subcarrier decoding subspace orthogonal to given directions.
+
+    ``directions`` has shape ``(n_subcarriers, N, k)``; the result has
+    shape ``(n_subcarriers, N, n_streams)``.
+    """
+    from repro.utils.linalg import orthonormal_complement
+
+    n_sub = directions.shape[0]
+    out = np.zeros((n_sub, n_antennas, n_streams), dtype=complex)
+    for k in range(n_sub):
+        complement = orthonormal_complement(directions[k])
+        out[k] = complement[:, :n_streams]
+    return out

@@ -1,0 +1,406 @@
+"""Transmission planning: from overheard headers to pre-coders and power.
+
+This module is the glue between the MIMO math (:mod:`repro.mimo`) and the
+MAC protocols.  Given what a transmitter knows right before it starts --
+the receivers it must protect (learned from light-weight RTS/CTS headers,
+with channels obtained via reciprocity), its own receivers, and the
+hardware limits -- it produces a :class:`TransmissionPlan`: one
+per-subcarrier pre-coding vector per stream, plus the transmit-power scale
+imposed by the L-threshold rule.
+
+Two entry points:
+
+* :func:`plan_initial_transmission` -- the first contention winner (or any
+  802.11n-style transmitter on an idle medium); also covers multi-user
+  beamforming to several own receivers.
+* :func:`plan_join` -- a joiner that must not interfere with ongoing
+  receivers (the heart of n+, §3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.constants import INTERFERENCE_ADMISSION_THRESHOLD_DB
+from repro.exceptions import DimensionError, PrecodingError
+from repro.mac.power_control import admission_power_scale, interference_power_db
+from repro.mimo.dof import InterferenceStrategy, choose_strategy, max_concurrent_streams
+from repro.mimo.precoder import OwnReceiver, ReceiverConstraint, compute_precoders
+from repro.utils.linalg import orthonormal_complement
+
+__all__ = [
+    "ProtectedReceiver",
+    "PlannedReceiver",
+    "StreamPlan",
+    "TransmissionPlan",
+    "receiver_decoding_subspace",
+    "plan_initial_transmission",
+    "plan_join",
+]
+
+
+@dataclass
+class ProtectedReceiver:
+    """A receiver of an ongoing stream that the joiner must protect.
+
+    Attributes
+    ----------
+    receiver_id:
+        Node identifier.
+    n_antennas:
+        N, the receiver's antenna count (from its CTS header).
+    n_wanted_streams:
+        n, the number of streams it is currently decoding.
+    channel:
+        ``(n_subcarriers, N, M)`` estimated channel from the joiner to
+        this receiver (reciprocity from its overheard CTS).
+    u_perp:
+        ``(n_subcarriers, N, n)`` decoding subspace it announced, or
+        ``None`` when it has no unwanted space (the joiner must null).
+    """
+
+    receiver_id: int
+    n_antennas: int
+    n_wanted_streams: int
+    channel: np.ndarray
+    u_perp: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        self.channel = np.asarray(self.channel, dtype=complex)
+        if self.channel.ndim != 3:
+            raise DimensionError(
+                f"channel must have shape (n_subcarriers, N, M), got {self.channel.shape}"
+            )
+        if self.u_perp is not None:
+            self.u_perp = np.asarray(self.u_perp, dtype=complex)
+            if self.u_perp.ndim != 3:
+                raise DimensionError(
+                    f"u_perp must have shape (n_subcarriers, N, n), got {self.u_perp.shape}"
+                )
+
+    @property
+    def strategy(self) -> InterferenceStrategy:
+        """Null or align (Claim 3.1)."""
+        return choose_strategy(self.n_antennas, self.n_wanted_streams)
+
+    def constraint(self, subcarrier: int) -> ReceiverConstraint:
+        """The per-subcarrier constraint this receiver imposes."""
+        if self.strategy is InterferenceStrategy.NULL or self.u_perp is None:
+            return ReceiverConstraint(channel=self.channel[subcarrier], u_perp=None)
+        return ReceiverConstraint(
+            channel=self.channel[subcarrier], u_perp=self.u_perp[subcarrier]
+        )
+
+    @property
+    def n_constraints(self) -> int:
+        """Constraint rows this receiver contributes (= protected streams)."""
+        if self.strategy is InterferenceStrategy.NULL or self.u_perp is None:
+            return self.n_antennas
+        return self.u_perp.shape[2]
+
+
+@dataclass
+class PlannedReceiver:
+    """One of the transmitter's own receivers.
+
+    Attributes
+    ----------
+    receiver_id:
+        Node identifier.
+    n_antennas:
+        The receiver's antenna count.
+    n_streams:
+        Number of streams destined to it in this transmission.
+    channel:
+        ``(n_subcarriers, N, M)`` estimated channel from the transmitter.
+    u_perp:
+        ``(n_subcarriers, N, n)`` decoding subspace the receiver will use
+        (orthogonal to the interference it already sees).  ``None`` means
+        the receiver has no ongoing interference and uses its full space.
+    """
+
+    receiver_id: int
+    n_antennas: int
+    n_streams: int
+    channel: np.ndarray
+    u_perp: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        self.channel = np.asarray(self.channel, dtype=complex)
+        if self.channel.ndim != 3:
+            raise DimensionError(
+                f"channel must have shape (n_subcarriers, N, M), got {self.channel.shape}"
+            )
+        if self.n_streams < 1:
+            raise PrecodingError("a planned receiver must take at least one stream")
+        if self.u_perp is not None:
+            self.u_perp = np.asarray(self.u_perp, dtype=complex)
+
+    def decoding_subspace(self, subcarrier: int) -> np.ndarray:
+        """U-perp used on ``subcarrier``.
+
+        Defaults to the first ``n_streams`` canonical directions when the
+        receiver sees no ongoing interference (it then has one spare
+        constraint row per wanted stream, as Claim 3.5 requires).
+        """
+        if self.u_perp is None:
+            return np.eye(self.n_antennas, dtype=complex)[:, : self.n_streams]
+        return self.u_perp[subcarrier]
+
+
+@dataclass
+class StreamPlan:
+    """The plan of one spatial stream.
+
+    Attributes
+    ----------
+    stream_index:
+        Position of the stream within the transmission.
+    receiver_id:
+        Destination node.
+    precoders:
+        ``(n_subcarriers, M)`` pre-coding vectors (unit norm per
+        subcarrier before power scaling).
+    """
+
+    stream_index: int
+    receiver_id: int
+    precoders: np.ndarray
+
+
+@dataclass
+class TransmissionPlan:
+    """Everything a transmitter needs to start its (possibly joint)
+    transmission.
+
+    Attributes
+    ----------
+    transmitter_id:
+        The transmitting node.
+    streams:
+        Per-stream plans.
+    power_scale:
+        Multiplicative transmit-power factor (<= 1) imposed by the
+        L-threshold rule; 1.0 when no reduction was needed.
+    protects:
+        Receiver ids this transmission nulls/aligns at, mapped to the
+        strategy used -- empty for a first contention winner.
+    """
+
+    transmitter_id: int
+    streams: List[StreamPlan]
+    power_scale: float = 1.0
+    protects: Dict[int, InterferenceStrategy] = field(default_factory=dict)
+
+    @property
+    def n_streams(self) -> int:
+        """Number of spatial streams in the plan."""
+        return len(self.streams)
+
+    def power_per_stream(self, total_power: float = 1.0) -> float:
+        """Transmit power allocated to each stream (equal split)."""
+        if not self.streams:
+            return 0.0
+        return total_power * self.power_scale / len(self.streams)
+
+
+def receiver_decoding_subspace(
+    n_antennas: int,
+    n_streams: int,
+    interference_directions: Optional[np.ndarray],
+) -> np.ndarray:
+    """The decoding subspace a receiver adopts for ``n_streams`` new
+    wanted streams given the interference already on the air.
+
+    Returns an ``(N, n_streams)`` orthonormal basis orthogonal to the
+    interference directions; the receiver decodes by projecting onto it,
+    and announces it (as U-perp) in its light-weight CTS.
+    """
+    if n_streams > n_antennas:
+        raise PrecodingError(
+            f"a receiver with {n_antennas} antennas cannot decode {n_streams} streams"
+        )
+    if interference_directions is None or np.asarray(interference_directions).size == 0:
+        return np.eye(n_antennas, dtype=complex)[:, :n_streams]
+    interference = np.asarray(interference_directions, dtype=complex)
+    if interference.ndim == 1:
+        interference = interference.reshape(-1, 1)
+    complement = orthonormal_complement(interference)
+    if complement.shape[1] < n_streams:
+        raise PrecodingError(
+            f"only {complement.shape[1]} interference-free dimensions remain, "
+            f"cannot decode {n_streams} streams"
+        )
+    return complement[:, :n_streams]
+
+
+def _n_subcarriers(arrays: Sequence[np.ndarray]) -> int:
+    sizes = {np.asarray(a).shape[0] for a in arrays}
+    if len(sizes) != 1:
+        raise DimensionError(f"inconsistent subcarrier counts: {sorted(sizes)}")
+    return sizes.pop()
+
+
+def plan_initial_transmission(
+    transmitter_id: int,
+    n_tx_antennas: int,
+    receivers: Sequence[PlannedReceiver],
+    multi_user_beamforming: bool = False,
+) -> TransmissionPlan:
+    """Plan a transmission on an idle medium (the first contention winner).
+
+    With a single receiver and no beamforming the transmitter simply maps
+    one stream per antenna (802.11n spatial multiplexing).  With several
+    receivers -- or ``multi_user_beamforming`` -- it zero-forces between
+    its own receivers via Eq. 7 with no ongoing constraints.
+    """
+    receivers = list(receivers)
+    if not receivers:
+        raise PrecodingError("an initial transmission needs at least one receiver")
+    total_streams = sum(r.n_streams for r in receivers)
+    if total_streams > n_tx_antennas:
+        raise PrecodingError(
+            f"{total_streams} streams exceed the transmitter's {n_tx_antennas} antennas"
+        )
+
+    n_sub = _n_subcarriers([r.channel for r in receivers])
+
+    if len(receivers) == 1 and not multi_user_beamforming:
+        receiver = receivers[0]
+        streams = []
+        for index in range(receiver.n_streams):
+            precoders = np.zeros((n_sub, n_tx_antennas), dtype=complex)
+            precoders[:, index] = 1.0
+            streams.append(
+                StreamPlan(stream_index=index, receiver_id=receiver.receiver_id, precoders=precoders)
+            )
+        return TransmissionPlan(transmitter_id=transmitter_id, streams=streams)
+
+    # Multi-user beamforming: per subcarrier, solve Eq. 7 with no ongoing
+    # receivers so each stream lands orthogonally to the other receivers'
+    # decoding subspaces.
+    stream_receivers: List[int] = []
+    for receiver in receivers:
+        stream_receivers.extend([receiver.receiver_id] * receiver.n_streams)
+    precoders = np.zeros((n_sub, total_streams, n_tx_antennas), dtype=complex)
+    for k in range(n_sub):
+        own = [
+            OwnReceiver(
+                channel=r.channel[k],
+                u_perp=r.decoding_subspace(k),
+                n_streams=r.n_streams,
+            )
+            for r in receivers
+        ]
+        vectors = compute_precoders(n_tx_antennas, ongoing=[], own_receivers=own)
+        for index, vector in enumerate(vectors):
+            precoders[k, index] = vector
+    streams = [
+        StreamPlan(stream_index=i, receiver_id=stream_receivers[i], precoders=precoders[:, i, :])
+        for i in range(total_streams)
+    ]
+    return TransmissionPlan(transmitter_id=transmitter_id, streams=streams)
+
+
+def plan_join(
+    transmitter_id: int,
+    n_tx_antennas: int,
+    protected: Sequence[ProtectedReceiver],
+    receivers: Sequence[PlannedReceiver],
+    noise_power: float = 1.0,
+    admission_threshold_db: float = INTERFERENCE_ADMISSION_THRESHOLD_DB,
+    n_streams: Optional[int] = None,
+) -> TransmissionPlan:
+    """Plan a transmission that joins ongoing transmissions (§3.3).
+
+    Parameters
+    ----------
+    transmitter_id:
+        The joining node.
+    n_tx_antennas:
+        M, its antenna count.
+    protected:
+        The receivers of ongoing streams (from overheard headers).
+    receivers:
+        The joiner's own receivers.
+    noise_power:
+        Receiver noise power in the same normalisation as the channels
+        (used by the L-threshold admission rule).
+    admission_threshold_db:
+        The L threshold.
+    n_streams:
+        Total new streams; defaults to the receivers' total, capped by
+        Claim 3.2.
+
+    Raises
+    ------
+    PrecodingError
+        If the ongoing streams leave no degree of freedom for the joiner.
+    """
+    protected = list(protected)
+    receivers = list(receivers)
+    if not receivers:
+        raise PrecodingError("a join needs at least one own receiver")
+
+    k_ongoing = sum(p.n_constraints for p in protected)
+    free = max_concurrent_streams(n_tx_antennas, k_ongoing)
+    requested = sum(r.n_streams for r in receivers) if n_streams is None else n_streams
+    if requested > free:
+        raise PrecodingError(
+            f"requested {requested} streams but only {free} degrees of freedom are free "
+            f"({k_ongoing} ongoing constraints, {n_tx_antennas} antennas)"
+        )
+
+    n_sub = _n_subcarriers([p.channel for p in protected] + [r.channel for r in receivers])
+
+    # L-threshold admission: how loud would the joiner be at each
+    # protected receiver with no pre-coding at all?
+    interference_levels = [
+        interference_power_db(p.channel, noise_power=noise_power) for p in protected
+    ]
+    power_scale = admission_power_scale(interference_levels, admission_threshold_db)
+
+    stream_receivers: List[int] = []
+    for receiver in receivers:
+        stream_receivers.extend([receiver.receiver_id] * receiver.n_streams)
+
+    total_streams = len(stream_receivers)
+    precoders = np.zeros((n_sub, total_streams, n_tx_antennas), dtype=complex)
+    for k in range(n_sub):
+        ongoing_constraints = [p.constraint(k) for p in protected]
+        if len(receivers) == 1:
+            vectors = compute_precoders(
+                n_tx_antennas,
+                ongoing=ongoing_constraints,
+                own_receivers=None,
+                n_streams=total_streams,
+            )
+        else:
+            own = [
+                OwnReceiver(
+                    channel=r.channel[k],
+                    u_perp=r.decoding_subspace(k),
+                    n_streams=r.n_streams,
+                )
+                for r in receivers
+            ]
+            vectors = compute_precoders(
+                n_tx_antennas, ongoing=ongoing_constraints, own_receivers=own
+            )
+        for index, vector in enumerate(vectors):
+            precoders[k, index] = vector
+
+    streams = [
+        StreamPlan(stream_index=i, receiver_id=stream_receivers[i], precoders=precoders[:, i, :])
+        for i in range(total_streams)
+    ]
+    protects = {p.receiver_id: p.strategy for p in protected}
+    return TransmissionPlan(
+        transmitter_id=transmitter_id,
+        streams=streams,
+        power_scale=power_scale,
+        protects=protects,
+    )

@@ -1,0 +1,112 @@
+"""Retransmission bookkeeping (§4, "Retransmissions").
+
+An n+ node keeps a packet in its queue until it is acknowledged.  Because
+a joiner must always end with the ongoing transmissions, the same packet
+may be fragmented differently -- or aggregated with other packets for the
+same receiver -- on its next attempt; the queue therefore tracks how many
+bits of each packet remain unacknowledged rather than treating packets as
+atomic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.constants import MAX_RETRIES
+from repro.mac.frames import Packet
+
+__all__ = ["RetransmissionQueue"]
+
+
+@dataclass
+class _PendingPacket:
+    packet: Packet
+    remaining_bits: int
+
+
+@dataclass
+class RetransmissionQueue:
+    """A per-destination FIFO of packets with partial-delivery tracking.
+
+    Attributes
+    ----------
+    max_retries:
+        Attempts after which a packet is dropped.
+    """
+
+    max_retries: int = MAX_RETRIES
+    _pending: List[_PendingPacket] = field(default_factory=list)
+    dropped_packets: int = 0
+    delivered_packets: int = 0
+    delivered_bits: int = 0
+
+    # -- queue management ------------------------------------------------------
+
+    def enqueue(self, packet: Packet) -> None:
+        """Add a new packet to the tail of the queue."""
+        self._pending.append(_PendingPacket(packet=packet, remaining_bits=packet.size_bits))
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    @property
+    def has_traffic(self) -> bool:
+        """Whether any bits are waiting to be sent."""
+        return bool(self._pending)
+
+    @property
+    def backlog_bits(self) -> int:
+        """Total unacknowledged bits in the queue."""
+        return sum(p.remaining_bits for p in self._pending)
+
+    def head(self) -> Optional[Packet]:
+        """The packet at the head of the queue (None if empty)."""
+        return self._pending[0].packet if self._pending else None
+
+    # -- transmission outcomes ----------------------------------------------------
+
+    def take_bits(self, capacity_bits: int) -> int:
+        """Reserve up to ``capacity_bits`` of queued data for a transmission.
+
+        Returns the number of bits actually reserved (FIFO order, possibly
+        spanning several packets -- aggregation -- or part of one packet --
+        fragmentation).  The reservation is logical: the bits stay in the
+        queue until :meth:`acknowledge` or :meth:`fail` is called.
+        """
+        reserved = 0
+        for pending in self._pending:
+            if reserved >= capacity_bits:
+                break
+            reserved += min(pending.remaining_bits, capacity_bits - reserved)
+        return reserved
+
+    def acknowledge(self, delivered_bits: int) -> int:
+        """Mark ``delivered_bits`` (FIFO order) as acknowledged.
+
+        Returns the number of whole packets completed and removed.
+        """
+        completed = 0
+        remaining = delivered_bits
+        while remaining > 0 and self._pending:
+            head = self._pending[0]
+            taken = min(head.remaining_bits, remaining)
+            head.remaining_bits -= taken
+            remaining -= taken
+            self.delivered_bits += taken
+            if head.remaining_bits == 0:
+                self._pending.pop(0)
+                self.delivered_packets += 1
+                completed += 1
+        return completed
+
+    def fail(self) -> None:
+        """Record a failed attempt for the head packet; drop it after too
+        many retries."""
+        if not self._pending:
+            return
+        head = self._pending[0]
+        head.packet.retries += 1
+        if head.packet.retries > self.max_retries:
+            self._pending.pop(0)
+            self.dropped_packets += 1

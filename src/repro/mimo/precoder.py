@@ -1,0 +1,269 @@
+"""The general pre-coding solver (Claim 3.5, Eq. 7).
+
+A transmitter that wants to join ongoing transmissions combines, into one
+linear system, the constraints needed to
+
+* protect every receiver of an ongoing stream (nulling where that
+  receiver's antennas are all occupied by wanted streams, alignment in its
+  unwanted space otherwise), and
+* keep its own streams separable at its own receiver(s) -- each stream
+  must avoid the decoding subspaces of the transmitter's *other*
+  receivers.
+
+With M transmit antennas and K ongoing streams the system has exactly
+``M - K`` solutions, one pre-coding vector per new stream (Claim 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import DimensionError, PrecodingError
+from repro.mimo.alignment import alignment_constraint_rows
+from repro.mimo.nulling import nulling_constraint_rows
+from repro.utils.linalg import null_space
+
+__all__ = ["ReceiverConstraint", "OwnReceiver", "max_streams", "compute_precoders"]
+
+
+@dataclass
+class ReceiverConstraint:
+    """A receiver of an *ongoing* stream that the joiner must not disturb.
+
+    Attributes
+    ----------
+    channel:
+        ``(N, M)`` channel matrix from the joiner's antennas to this
+        receiver's antennas (obtained via reciprocity from the receiver's
+        light-weight CTS).
+    u_perp:
+        ``(N, n)`` orthonormal basis of the receiver's decoding subspace,
+        as broadcast in its CTS.  ``None`` means the receiver has no
+        unwanted space (n = N) and the joiner must null (Claim 3.1).
+    """
+
+    channel: np.ndarray
+    u_perp: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        self.channel = np.asarray(self.channel, dtype=complex)
+        if self.channel.ndim == 1:
+            self.channel = self.channel.reshape(1, -1)
+        if self.u_perp is not None:
+            self.u_perp = np.asarray(self.u_perp, dtype=complex)
+            if self.u_perp.ndim == 1:
+                self.u_perp = self.u_perp.reshape(-1, 1)
+            if self.u_perp.shape[0] != self.channel.shape[0]:
+                raise DimensionError(
+                    "U-perp and the channel disagree on the receiver's antenna count: "
+                    f"{self.u_perp.shape[0]} vs {self.channel.shape[0]}"
+                )
+
+    @property
+    def n_rx_antennas(self) -> int:
+        """The receiver's antenna count N."""
+        return self.channel.shape[0]
+
+    @property
+    def is_nulling(self) -> bool:
+        """Whether the joiner must null (no unwanted space at this receiver)."""
+        return self.u_perp is None or self.u_perp.shape[1] == self.n_rx_antennas
+
+    def constraint_rows(self) -> np.ndarray:
+        """The rows this receiver contributes to the joiner's linear system."""
+        if self.is_nulling:
+            return nulling_constraint_rows(self.channel)
+        return alignment_constraint_rows(self.channel, self.u_perp)
+
+    @property
+    def n_constraints(self) -> int:
+        """Number of constraint rows (= number of protected streams)."""
+        return self.constraint_rows().shape[0]
+
+
+@dataclass
+class OwnReceiver:
+    """A receiver of the joiner's *own* streams.
+
+    Attributes
+    ----------
+    channel:
+        ``(N, M)`` channel matrix from the joiner to this receiver.
+    u_perp:
+        ``(N, n)`` decoding subspace of this receiver, where ``n`` is the
+        number of streams it will receive from the joiner.  For a receiver
+        using all of its antennas, pass the identity.
+    n_streams:
+        Number of the joiner's streams destined to this receiver.
+    """
+
+    channel: np.ndarray
+    u_perp: np.ndarray
+    n_streams: int
+
+    def __post_init__(self) -> None:
+        self.channel = np.asarray(self.channel, dtype=complex)
+        if self.channel.ndim == 1:
+            self.channel = self.channel.reshape(1, -1)
+        self.u_perp = np.asarray(self.u_perp, dtype=complex)
+        if self.u_perp.ndim == 1:
+            self.u_perp = self.u_perp.reshape(-1, 1)
+        if self.u_perp.shape[0] != self.channel.shape[0]:
+            raise DimensionError(
+                "U-perp and the channel disagree on the receiver's antenna count"
+            )
+        if self.n_streams < 1:
+            raise PrecodingError("an own receiver must take at least one stream")
+        if self.n_streams > self.u_perp.shape[1]:
+            raise PrecodingError(
+                f"receiver's decoding subspace has dimension {self.u_perp.shape[1]} "
+                f"but {self.n_streams} streams are destined to it"
+            )
+
+    def constraint_rows(self) -> np.ndarray:
+        """Rows ``U'_perp^H H'`` of this receiver (Claim 3.5)."""
+        return alignment_constraint_rows(self.channel, self.u_perp)
+
+
+def max_streams(n_tx_antennas: int, ongoing: Sequence[ReceiverConstraint]) -> int:
+    """Maximum new streams given the ongoing receivers (Claim 3.2)."""
+    total_constraints = sum(r.n_constraints for r in ongoing)
+    return max(0, n_tx_antennas - total_constraints)
+
+
+def _normalize_columns(matrix: np.ndarray) -> np.ndarray:
+    norms = np.linalg.norm(matrix, axis=0, keepdims=True)
+    return matrix / np.where(norms > 1e-15, norms, 1.0)
+
+
+def compute_precoders(
+    n_tx_antennas: int,
+    ongoing: Sequence[ReceiverConstraint],
+    own_receivers: Optional[Sequence[OwnReceiver]] = None,
+    n_streams: Optional[int] = None,
+    normalize: bool = True,
+    rcond: float = 1e-10,
+) -> List[np.ndarray]:
+    """Compute the joiner's pre-coding vectors (Claim 3.5, Eq. 7).
+
+    Parameters
+    ----------
+    n_tx_antennas:
+        M, the joiner's antenna count.
+    ongoing:
+        Receivers of ongoing streams that must see no new interference.
+    own_receivers:
+        The joiner's own receivers.  If omitted (or a single receiver with
+        no cross-stream separation requirements), the pre-coders are the
+        null-space basis of the ongoing constraints.
+    n_streams:
+        Number of streams to form; defaults to the maximum (``M - K``) when
+        ``own_receivers`` is omitted, or to the sum of their ``n_streams``
+        otherwise.
+    normalize:
+        Scale each pre-coder to unit norm (unit per-stream transmit power).
+    rcond:
+        Rank tolerance for the underlying decompositions.
+
+    Returns
+    -------
+    list of numpy.ndarray
+        One length-``M`` pre-coding vector per stream, ordered first by own
+        receiver (in the given order) and then by stream index within the
+        receiver.
+
+    Raises
+    ------
+    PrecodingError
+        If the constraints leave no room for the requested streams, or the
+        combined system is singular (e.g. channels are not independent).
+    """
+    ongoing = list(ongoing or [])
+    shared_rows = [r.constraint_rows() for r in ongoing]
+    for rows in shared_rows:
+        if rows.shape[1] != n_tx_antennas:
+            raise DimensionError(
+                f"an ongoing receiver's channel has {rows.shape[1]} transmit antennas, "
+                f"expected {n_tx_antennas}"
+            )
+    shared = (
+        np.concatenate(shared_rows, axis=0)
+        if shared_rows
+        else np.zeros((0, n_tx_antennas), dtype=complex)
+    )
+    free_dof = n_tx_antennas - shared.shape[0]
+    if free_dof <= 0:
+        raise PrecodingError(
+            f"the {shared.shape[0]} ongoing streams consume every one of the joiner's "
+            f"{n_tx_antennas} antennas; it cannot transmit (Claim 3.2)"
+        )
+
+    # --- Simple case: no own-receiver cross constraints --------------------
+    if not own_receivers:
+        wanted = free_dof if n_streams is None else n_streams
+        if wanted > free_dof or wanted < 1:
+            raise PrecodingError(
+                f"cannot form {wanted} streams with {free_dof} free degrees of freedom"
+            )
+        basis = null_space(shared, rcond)
+        if basis.shape[1] < wanted:
+            raise PrecodingError(
+                "ongoing constraints are rank deficient; no usable null space"
+            )
+        precoders = basis[:, :wanted]
+        if normalize:
+            precoders = _normalize_columns(precoders)
+        return [precoders[:, i].copy() for i in range(wanted)]
+
+    # --- General case: Eq. 7 ------------------------------------------------
+    own_receivers = list(own_receivers)
+    total_own_streams = sum(r.n_streams for r in own_receivers)
+    if n_streams is not None and n_streams != total_own_streams:
+        raise PrecodingError(
+            f"n_streams={n_streams} disagrees with the own receivers' total "
+            f"({total_own_streams})"
+        )
+    if total_own_streams > free_dof:
+        raise PrecodingError(
+            f"own receivers ask for {total_own_streams} streams but only {free_dof} "
+            f"degrees of freedom are free (Claim 3.2)"
+        )
+
+    own_rows = [r.constraint_rows() for r in own_receivers]
+    own_row_counts = [rows.shape[0] for rows in own_rows]
+    matrix = np.concatenate([shared] + own_rows, axis=0)
+
+    # Right-hand side: zeros for the ongoing receivers; for own receivers,
+    # stream i destined to receiver j gets a unit entry in one of receiver
+    # j's rows and zeros in the rows of the other own receivers, so streams
+    # neither disturb ongoing receivers nor each other's receivers.
+    total_rows = matrix.shape[0]
+    rhs_columns = []
+    row_offset = shared.shape[0]
+    for receiver_index, receiver in enumerate(own_receivers):
+        base = row_offset + sum(own_row_counts[:receiver_index])
+        for stream in range(receiver.n_streams):
+            column = np.zeros(total_rows, dtype=complex)
+            column[base + stream] = 1.0
+            rhs_columns.append(column)
+    rhs = np.stack(rhs_columns, axis=1)
+
+    if matrix.shape[0] == matrix.shape[1]:
+        try:
+            solution = np.linalg.solve(matrix, rhs)
+        except np.linalg.LinAlgError as exc:
+            raise PrecodingError(f"the combined constraint matrix is singular: {exc}") from exc
+    else:
+        solution, *_ = np.linalg.lstsq(matrix, rhs, rcond=rcond)
+        # Verify the hard constraints (protecting ongoing receivers) hold.
+        if shared.shape[0] and not np.allclose(shared @ solution, 0, atol=1e-8):
+            raise PrecodingError(
+                "least-squares solution cannot satisfy the nulling/alignment constraints"
+            )
+
+    if normalize:
+        solution = _normalize_columns(solution)
+    return [solution[:, i].copy() for i in range(solution.shape[1])]

@@ -1,0 +1,152 @@
+"""Bookkeeping dataclasses describing the streams currently on the air.
+
+These records are the "shared state" that n+ nodes reconstruct purely by
+overhearing light-weight RTS/CTS headers: who is transmitting, to whom,
+how many streams, which decoding subspace each receiver announced, and
+when the transmission ends.  Both the MAC protocols and the
+link-abstraction simulator consume them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.exceptions import MediumAccessError
+
+__all__ = ["ActiveStream", "OngoingTransmission", "MediumState"]
+
+
+@dataclass
+class ActiveStream:
+    """One spatial stream currently on the air.
+
+    Attributes
+    ----------
+    stream_id:
+        Globally unique identifier of the stream.
+    transmitter_id, receiver_id:
+        Node identifiers.
+    mcs_index:
+        Bitrate of the stream.
+    precoder:
+        Pre-coding vector(s) used by the transmitter: shape ``(M,)`` or
+        ``(n_subcarriers, M)``.
+    """
+
+    stream_id: int
+    transmitter_id: int
+    receiver_id: int
+    mcs_index: int
+    precoder: Optional[np.ndarray] = None
+
+
+@dataclass
+class OngoingTransmission:
+    """A transmission (one or more streams from one transmitter).
+
+    Attributes
+    ----------
+    transmitter_id:
+        The transmitting node.
+    streams:
+        The streams of this transmission.
+    start_us, end_us:
+        Transmission boundaries in simulation time (microseconds).
+    uses_protection:
+        Whether the transmitter joined via nulling/alignment (i.e. it is
+        not the first contention winner).
+    """
+
+    transmitter_id: int
+    streams: List[ActiveStream]
+    start_us: float
+    end_us: float
+    uses_protection: bool = False
+
+    @property
+    def n_streams(self) -> int:
+        """Number of spatial streams in this transmission."""
+        return len(self.streams)
+
+    @property
+    def receiver_ids(self) -> List[int]:
+        """All receivers of this transmission (in stream order, deduplicated)."""
+        seen: List[int] = []
+        for stream in self.streams:
+            if stream.receiver_id not in seen:
+                seen.append(stream.receiver_id)
+        return seen
+
+
+@dataclass
+class MediumState:
+    """What a node knows about the medium from overheard headers.
+
+    The state tracks ongoing transmissions and per-receiver decoding
+    subspaces (U-perp), which is everything a joiner needs to compute its
+    pre-coders and everything a carrier-sensing node needs to project.
+    """
+
+    transmissions: List[OngoingTransmission] = field(default_factory=list)
+    receiver_subspaces: Dict[int, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def n_used_dof(self) -> int:
+        """Number of degrees of freedom currently in use (= ongoing streams)."""
+        return sum(t.n_streams for t in self.transmissions)
+
+    @property
+    def busy(self) -> bool:
+        """Whether any transmission is on the air."""
+        return bool(self.transmissions)
+
+    @property
+    def end_of_current_transmissions_us(self) -> float:
+        """When the current joint transmission ends (0 if idle).
+
+        n+ forces joiners to end with the first winner, so in a correct run
+        all ongoing transmissions share (approximately) the same end time;
+        we return the latest.
+        """
+        if not self.transmissions:
+            return 0.0
+        return max(t.end_us for t in self.transmissions)
+
+    def protected_receivers(self) -> List[int]:
+        """Receivers a joiner must protect (all receivers of ongoing streams)."""
+        receivers: List[int] = []
+        for transmission in self.transmissions:
+            for receiver in transmission.receiver_ids:
+                if receiver not in receivers:
+                    receivers.append(receiver)
+        return receivers
+
+    def streams_for_receiver(self, receiver_id: int) -> List[ActiveStream]:
+        """Ongoing streams destined to ``receiver_id``."""
+        out = []
+        for transmission in self.transmissions:
+            out.extend(s for s in transmission.streams if s.receiver_id == receiver_id)
+        return out
+
+    def add(self, transmission: OngoingTransmission) -> None:
+        """Record a new transmission."""
+        self.transmissions.append(transmission)
+
+    def remove_transmitter(self, transmitter_id: int) -> None:
+        """Remove the transmission of a given transmitter (it ended)."""
+        before = len(self.transmissions)
+        self.transmissions = [
+            t for t in self.transmissions if t.transmitter_id != transmitter_id
+        ]
+        if len(self.transmissions) == before:
+            raise MediumAccessError(
+                f"no ongoing transmission from node {transmitter_id} to remove"
+            )
+
+    def clear(self) -> None:
+        """The medium went idle."""
+        self.transmissions.clear()
+        self.receiver_subspaces.clear()

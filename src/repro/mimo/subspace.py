@@ -1,0 +1,161 @@
+"""The "unwanted space" of a receiver and its orthogonal complement.
+
+An N-antenna receiver that wants n streams receives signals in an
+N-dimensional space.  It reserves an (N - n)-dimensional *unwanted space*
+U for interference and decodes its wanted streams after projecting onto
+the complement U-perp (§3.3(a)).  The receiver broadcasts U-perp in its
+light-weight CTS so later joiners can align their interference inside U
+(Claim 3.4).
+
+The choice of U is constrained by two facts:
+
+* interference that is *already* on the air must lie inside U (otherwise
+  the receiver could not be decoding right now), and
+* after projecting onto U-perp the wanted streams must remain separable,
+  i.e. the projected wanted channel must have rank n.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import DimensionError, PrecodingError
+from repro.utils.linalg import (
+    orthonormal_basis,
+    orthonormal_complement,
+    project_out_subspace,
+)
+
+__all__ = ["unwanted_space", "decoding_projection", "validate_unwanted_space"]
+
+
+def unwanted_space(
+    n_antennas: int,
+    wanted_directions: np.ndarray,
+    interference_directions: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Construct the unwanted space U and its complement U-perp.
+
+    Parameters
+    ----------
+    n_antennas:
+        N, the receiver's antenna count.
+    wanted_directions:
+        ``(N, n)`` matrix whose columns are the effective channel vectors
+        of the receiver's wanted streams.
+    interference_directions:
+        Optional ``(N, k)`` matrix of effective channel vectors of
+        interference already on the air (k may be 0).
+
+    Returns
+    -------
+    (U, U_perp):
+        ``U`` has shape ``(N, N - n)`` and ``U_perp`` has shape ``(N, n)``,
+        both with orthonormal columns.  When ``n == N`` the unwanted space
+        is empty and ``U_perp`` is the identity.
+
+    Raises
+    ------
+    PrecodingError
+        If the existing interference cannot fit inside an
+        ``(N - n)``-dimensional space, or the wanted streams would become
+        inseparable after the projection.
+    """
+    wanted = np.asarray(wanted_directions, dtype=complex)
+    if wanted.ndim == 1:
+        wanted = wanted.reshape(-1, 1)
+    if wanted.shape[0] != n_antennas:
+        raise DimensionError(
+            f"wanted directions live in dimension {wanted.shape[0]}, expected {n_antennas}"
+        )
+    n_wanted = wanted.shape[1]
+    if n_wanted > n_antennas:
+        raise PrecodingError(
+            f"a receiver with {n_antennas} antennas cannot want {n_wanted} streams"
+        )
+
+    if interference_directions is None:
+        interference = np.zeros((n_antennas, 0), dtype=complex)
+    else:
+        interference = np.asarray(interference_directions, dtype=complex)
+        if interference.ndim == 1:
+            interference = interference.reshape(-1, 1)
+        if interference.shape[0] != n_antennas:
+            raise DimensionError(
+                f"interference directions live in dimension {interference.shape[0]}, "
+                f"expected {n_antennas}"
+            )
+
+    unwanted_dim = n_antennas - n_wanted
+    if n_wanted == n_antennas:
+        # No spare dimension: the unwanted space is empty (Claim 3.1 says
+        # later joiners must null here).
+        return (
+            np.zeros((n_antennas, 0), dtype=complex),
+            np.eye(n_antennas, dtype=complex),
+        )
+
+    interference_basis = orthonormal_basis(interference)
+    if interference_basis.shape[1] > unwanted_dim:
+        raise PrecodingError(
+            f"existing interference occupies {interference_basis.shape[1]} dimensions "
+            f"but only {unwanted_dim} can be spared for the unwanted space"
+        )
+
+    # Fill the unwanted space up to N - n dimensions with directions that
+    # are orthogonal to both the interference and the wanted streams, so
+    # the projection keeps as much wanted energy as possible.
+    basis_columns = [interference_basis]
+    already = np.concatenate([interference_basis, wanted], axis=1)
+    extra_needed = unwanted_dim - interference_basis.shape[1]
+    if extra_needed > 0:
+        candidates = orthonormal_complement(already)
+        if candidates.shape[1] < extra_needed:
+            # Fall back: complete using directions orthogonal to the
+            # interference only (sacrificing some wanted-signal power).
+            candidates = orthonormal_complement(interference_basis)
+            # Remove any overlap with already chosen interference basis.
+        basis_columns.append(candidates[:, :extra_needed])
+    unwanted = orthonormal_basis(np.concatenate(basis_columns, axis=1))
+    if unwanted.shape[1] != unwanted_dim:
+        raise PrecodingError(
+            f"could not construct a {unwanted_dim}-dimensional unwanted space "
+            f"(got {unwanted.shape[1]} dimensions)"
+        )
+    u_perp = orthonormal_complement(unwanted)
+
+    # The wanted streams must stay separable after projecting onto U-perp.
+    projected = u_perp.conj().T @ wanted
+    if np.linalg.matrix_rank(projected, tol=1e-10) < n_wanted:
+        raise PrecodingError(
+            "wanted streams are not separable after projecting out the unwanted space"
+        )
+    return unwanted, u_perp
+
+
+def decoding_projection(unwanted: np.ndarray, n_antennas: int) -> np.ndarray:
+    """Return U-perp (the decoding projection) for a given unwanted space."""
+    unwanted = np.asarray(unwanted, dtype=complex)
+    if unwanted.size == 0:
+        return np.eye(n_antennas, dtype=complex)
+    if unwanted.shape[0] != n_antennas:
+        raise DimensionError(
+            f"unwanted space lives in dimension {unwanted.shape[0]}, expected {n_antennas}"
+        )
+    return orthonormal_complement(unwanted)
+
+
+def validate_unwanted_space(
+    unwanted: np.ndarray,
+    interference_directions: np.ndarray,
+    tol: float = 1e-6,
+) -> bool:
+    """Check that all existing interference lies inside the unwanted space."""
+    interference = np.asarray(interference_directions, dtype=complex)
+    if interference.size == 0:
+        return True
+    residual = project_out_subspace(interference, unwanted)
+    scale = max(float(np.linalg.norm(interference)), 1e-12)
+    return float(np.linalg.norm(residual)) <= tol * scale

@@ -1,0 +1,71 @@
+"""Carrier-frequency-offset (CFO) estimation and correction.
+
+In n+ all transmitters that join an ongoing transmission compensate their
+frequency offset relative to the *first* contention winner (§4,
+"Frequency Offset"): while decoding the first winner's light-weight RTS
+they estimate the offset from its periodic preamble and pre-rotate their
+own samples by ``exp(j 2 pi df t)`` so that every receiver sees a single
+common offset.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import SynchronizationError
+
+__all__ = ["estimate_cfo", "apply_cfo", "correct_cfo", "residual_cfo_after_compensation"]
+
+
+def estimate_cfo(samples: np.ndarray, period: int, sample_rate_hz: float) -> float:
+    """Estimate the carrier frequency offset from a periodic training field.
+
+    The phase drift between two samples separated by ``period`` equals
+    ``2 pi * cfo * period / fs``; averaging the conjugate product over the
+    field gives a robust estimate (Schmidl-Cox style).
+
+    Parameters
+    ----------
+    samples:
+        Received samples covering at least two repetitions of the periodic
+        training symbol.
+    period:
+        Repetition period in samples (16 for the 802.11 STF).
+    sample_rate_hz:
+        Sample rate in Hz.
+
+    Returns
+    -------
+    float
+        The estimated CFO in Hz.
+    """
+    samples = np.asarray(samples, dtype=complex).reshape(-1)
+    if samples.size < 2 * period:
+        raise SynchronizationError(
+            f"need at least {2 * period} samples to estimate CFO, got {samples.size}"
+        )
+    first = samples[:-period]
+    second = samples[period:]
+    accumulator = np.vdot(first, second)  # sum conj(first) * second
+    if accumulator == 0:
+        return 0.0
+    phase = np.angle(accumulator)
+    return float(phase * sample_rate_hz / (2 * np.pi * period))
+
+
+def apply_cfo(samples: np.ndarray, cfo_hz: float, sample_rate_hz: float, start_index: int = 0) -> np.ndarray:
+    """Rotate ``samples`` by a carrier frequency offset of ``cfo_hz``."""
+    samples = np.asarray(samples, dtype=complex)
+    n = np.arange(start_index, start_index + samples.shape[-1])
+    rotation = np.exp(2j * np.pi * cfo_hz * n / sample_rate_hz)
+    return samples * rotation
+
+
+def correct_cfo(samples: np.ndarray, cfo_hz: float, sample_rate_hz: float, start_index: int = 0) -> np.ndarray:
+    """Remove a known carrier frequency offset from ``samples``."""
+    return apply_cfo(samples, -cfo_hz, sample_rate_hz, start_index)
+
+
+def residual_cfo_after_compensation(true_cfo_hz: float, estimated_cfo_hz: float) -> float:
+    """Return the residual offset left after compensating with an estimate."""
+    return float(true_cfo_hz - estimated_cfo_hz)

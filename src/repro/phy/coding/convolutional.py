@@ -1,0 +1,114 @@
+"""The 802.11 rate-1/2 convolutional encoder (constraint length 7).
+
+Generator polynomials are the standard industry pair g0 = 133 (octal) and
+g1 = 171 (octal).  The encoder is used for every data rate; higher code
+rates are obtained by puncturing (:mod:`repro.phy.coding.puncturing`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["ConvolutionalEncoder", "conv_encode", "CONSTRAINT_LENGTH", "G0", "G1"]
+
+#: Constraint length of the 802.11 convolutional code.
+CONSTRAINT_LENGTH = 7
+
+#: Generator polynomials (octal 133 and 171).
+G0 = 0o133
+G1 = 0o171
+
+
+def _polynomial_taps(poly: int, constraint_length: int) -> np.ndarray:
+    """Return the tap mask of ``poly`` as a 0/1 array, newest bit first."""
+    return np.array(
+        [(poly >> (constraint_length - 1 - i)) & 1 for i in range(constraint_length)],
+        dtype=np.int8,
+    )
+
+
+class ConvolutionalEncoder:
+    """Rate-1/2 convolutional encoder with configurable polynomials.
+
+    The encoder is stateless between calls to :meth:`encode`; each frame is
+    encoded independently and terminated with ``constraint_length - 1``
+    zero tail bits so the decoder can end in the all-zero state.
+    """
+
+    def __init__(self, g0: int = G0, g1: int = G1, constraint_length: int = CONSTRAINT_LENGTH):
+        if constraint_length < 2:
+            raise ConfigurationError("constraint length must be at least 2")
+        self.constraint_length = constraint_length
+        self.g0 = g0
+        self.g1 = g1
+        self._taps0 = _polynomial_taps(g0, constraint_length)
+        self._taps1 = _polynomial_taps(g1, constraint_length)
+
+    @property
+    def n_states(self) -> int:
+        """Number of trellis states (2^(K-1))."""
+        return 1 << (self.constraint_length - 1)
+
+    @property
+    def tail_bits(self) -> int:
+        """Number of zero tail bits appended to terminate the trellis."""
+        return self.constraint_length - 1
+
+    def encode(self, bits: np.ndarray, terminate: bool = True) -> np.ndarray:
+        """Encode ``bits`` at rate 1/2, optionally appending tail bits.
+
+        Returns an array of length ``2 * (len(bits) + tail)`` with the two
+        coded bits of each input bit adjacent (g0 output first).
+        """
+        bits = np.asarray(bits, dtype=np.int8)
+        if terminate:
+            bits = np.concatenate([bits, np.zeros(self.tail_bits, dtype=np.int8)])
+        # Build the sliding window of the shift register: window[i] holds
+        # [b_i, b_{i-1}, ..., b_{i-K+1}] with zeros before the frame start.
+        padded = np.concatenate([np.zeros(self.constraint_length - 1, dtype=np.int8), bits])
+        windows = np.lib.stride_tricks.sliding_window_view(padded, self.constraint_length)
+        # Reverse so that index 0 is the newest bit, matching the tap masks.
+        windows = windows[:, ::-1]
+        out0 = (windows @ self._taps0) % 2
+        out1 = (windows @ self._taps1) % 2
+        coded = np.empty(2 * bits.size, dtype=np.int8)
+        coded[0::2] = out0
+        coded[1::2] = out1
+        return coded
+
+    def transitions(self):
+        """Return the trellis transition tables used by the Viterbi decoder.
+
+        Returns
+        -------
+        next_state : numpy.ndarray, shape (n_states, 2)
+            ``next_state[s, b]`` is the state after input bit ``b`` in
+            state ``s``.
+        outputs : numpy.ndarray, shape (n_states, 2, 2)
+            ``outputs[s, b]`` is the pair of coded bits emitted.
+        """
+        n_states = self.n_states
+        next_state = np.zeros((n_states, 2), dtype=np.int32)
+        outputs = np.zeros((n_states, 2, 2), dtype=np.int8)
+        k = self.constraint_length
+        for state in range(n_states):
+            for bit in range(2):
+                register = (bit << (k - 1)) | state
+                window = np.array([(register >> (k - 1 - i)) & 1 for i in range(k)], dtype=np.int8)
+                out0 = int(window @ self._taps0) % 2
+                out1 = int(window @ self._taps1) % 2
+                next_state[state, bit] = register >> 1
+                outputs[state, bit, 0] = out0
+                outputs[state, bit, 1] = out1
+        return next_state, outputs
+
+
+#: Module-level default encoder used by the convenience functions.
+_DEFAULT_ENCODER = ConvolutionalEncoder()
+
+
+def conv_encode(bits: np.ndarray, terminate: bool = True) -> np.ndarray:
+    """Encode ``bits`` with the default 802.11 encoder."""
+    return _DEFAULT_ENCODER.encode(bits, terminate=terminate)

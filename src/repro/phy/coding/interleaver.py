@@ -1,0 +1,77 @@
+"""The 802.11 per-OFDM-symbol block interleaver.
+
+Interleaving spreads adjacent coded bits across subcarriers (first
+permutation) and across constellation bit positions (second permutation)
+so that a deep fade on a few subcarriers does not wipe out consecutive
+coded bits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DimensionError
+
+__all__ = ["interleave", "deinterleave", "interleaver_permutation"]
+
+
+def interleaver_permutation(n_cbps: int, n_bpsc: int) -> np.ndarray:
+    """Return the interleaver permutation for one OFDM symbol.
+
+    ``perm[k]`` gives the output position of input coded bit ``k``.
+
+    Parameters
+    ----------
+    n_cbps:
+        Coded bits per OFDM symbol (48 * bits-per-subcarrier).
+    n_bpsc:
+        Coded bits per subcarrier (1, 2, 4 or 6).
+    """
+    if n_cbps % 16 != 0:
+        raise ConfigurationError(f"n_cbps must be a multiple of 16, got {n_cbps}")
+    s = max(n_bpsc // 2, 1)
+    k = np.arange(n_cbps)
+    # First permutation: write row-wise into 16 columns, read column-wise.
+    i = (n_cbps // 16) * (k % 16) + k // 16
+    # Second permutation: rotate bits within groups of s.
+    j = s * (i // s) + (i + n_cbps - (16 * i // n_cbps)) % s
+    return j
+
+
+def interleave(bits: np.ndarray, n_bpsc: int, n_cbps: int | None = None) -> np.ndarray:
+    """Interleave coded bits symbol by symbol.
+
+    The input length must be a multiple of ``n_cbps``.
+    """
+    bits = np.asarray(bits)
+    if n_cbps is None:
+        n_cbps = 48 * n_bpsc
+    if bits.size % n_cbps != 0:
+        raise DimensionError(
+            f"bit count {bits.size} is not a multiple of coded bits per symbol {n_cbps}"
+        )
+    perm = interleaver_permutation(n_cbps, n_bpsc)
+    out = np.empty_like(bits)
+    for start in range(0, bits.size, n_cbps):
+        block = bits[start : start + n_cbps]
+        shuffled = np.empty_like(block)
+        shuffled[perm] = block
+        out[start : start + n_cbps] = shuffled
+    return out
+
+
+def deinterleave(bits: np.ndarray, n_bpsc: int, n_cbps: int | None = None) -> np.ndarray:
+    """Reverse :func:`interleave`."""
+    bits = np.asarray(bits)
+    if n_cbps is None:
+        n_cbps = 48 * n_bpsc
+    if bits.size % n_cbps != 0:
+        raise DimensionError(
+            f"bit count {bits.size} is not a multiple of coded bits per symbol {n_cbps}"
+        )
+    perm = interleaver_permutation(n_cbps, n_bpsc)
+    out = np.empty_like(bits)
+    for start in range(0, bits.size, n_cbps):
+        block = bits[start : start + n_cbps]
+        out[start : start + n_cbps] = block[perm]
+    return out

@@ -1,0 +1,77 @@
+"""Puncturing of the rate-1/2 mother code to rates 2/3 and 3/4.
+
+802.11 derives its higher code rates by deleting ("puncturing") selected
+coded bits according to a fixed pattern.  The receiver re-inserts
+erasures at the punctured positions before Viterbi decoding.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["PUNCTURE_PATTERNS", "puncture", "depuncture", "punctured_length"]
+
+#: Puncturing patterns indexed by (numerator, denominator) of the code rate.
+#: A 1 keeps the coded bit, a 0 deletes it.  Patterns follow IEEE 802.11-2012.
+PUNCTURE_PATTERNS: Dict[Tuple[int, int], np.ndarray] = {
+    (1, 2): np.array([1, 1], dtype=np.int8),
+    (2, 3): np.array([1, 1, 1, 0], dtype=np.int8),
+    (3, 4): np.array([1, 1, 1, 0, 0, 1], dtype=np.int8),
+}
+
+
+def _pattern_for(rate: Tuple[int, int]) -> np.ndarray:
+    try:
+        return PUNCTURE_PATTERNS[tuple(rate)]
+    except KeyError:
+        raise ConfigurationError(
+            f"unsupported coding rate {rate}; supported: {sorted(PUNCTURE_PATTERNS)}"
+        ) from None
+
+
+def puncture(coded: np.ndarray, rate: Tuple[int, int]) -> np.ndarray:
+    """Delete coded bits according to the puncturing pattern of ``rate``."""
+    coded = np.asarray(coded)
+    pattern = _pattern_for(rate)
+    repeats = int(np.ceil(coded.size / pattern.size))
+    mask = np.tile(pattern, repeats)[: coded.size].astype(bool)
+    return coded[mask]
+
+
+def depuncture(received: np.ndarray, rate: Tuple[int, int], original_length: int) -> np.ndarray:
+    """Re-insert erasures (NaN) at punctured positions.
+
+    Parameters
+    ----------
+    received:
+        The punctured stream (hard bits or LLRs).
+    rate:
+        The coding rate used at the transmitter.
+    original_length:
+        Length of the unpunctured rate-1/2 stream.
+    """
+    received = np.asarray(received, dtype=float)
+    pattern = _pattern_for(rate)
+    repeats = int(np.ceil(original_length / pattern.size))
+    mask = np.tile(pattern, repeats)[:original_length].astype(bool)
+    expected = int(np.sum(mask))
+    if received.size != expected:
+        raise ConfigurationError(
+            f"punctured stream has {received.size} values but {expected} are expected "
+            f"for original length {original_length} at rate {rate}"
+        )
+    out = np.full(original_length, np.nan)
+    out[mask] = received
+    return out
+
+
+def punctured_length(original_length: int, rate: Tuple[int, int]) -> int:
+    """Return the stream length after puncturing ``original_length`` bits."""
+    pattern = _pattern_for(rate)
+    repeats = int(np.ceil(original_length / pattern.size))
+    mask = np.tile(pattern, repeats)[:original_length]
+    return int(np.sum(mask))

@@ -1,0 +1,127 @@
+"""Viterbi decoding of the 802.11 convolutional code.
+
+Supports hard-decision decoding (Hamming branch metrics on 0/1 inputs)
+and soft-decision decoding (correlation metrics on log-likelihood
+ratios).  Punctured positions are marked by erasure values and contribute
+zero branch metric.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DecodingError
+from repro.phy.coding.convolutional import ConvolutionalEncoder
+
+__all__ = ["viterbi_decode", "ERASURE"]
+
+#: Marker inserted by :func:`repro.phy.coding.puncturing.depuncture` for
+#: coded positions that were never transmitted.
+ERASURE = np.nan
+
+
+def _branch_metrics_hard(received_pair: np.ndarray, outputs: np.ndarray) -> np.ndarray:
+    """Hamming distance between a received coded pair and each branch output."""
+    metrics = np.zeros(outputs.shape[:2])
+    for idx in range(2):
+        value = received_pair[idx]
+        if np.isnan(value):
+            continue
+        metrics += outputs[:, :, idx] != int(round(float(value)))
+    return metrics
+
+
+def _branch_metrics_soft(received_pair: np.ndarray, outputs: np.ndarray) -> np.ndarray:
+    """Negative correlation metric for soft inputs (LLR > 0 means bit 0)."""
+    metrics = np.zeros(outputs.shape[:2])
+    for idx in range(2):
+        llr = received_pair[idx]
+        if np.isnan(llr):
+            continue
+        # Bit value 0 should be rewarded when llr > 0; bit 1 when llr < 0.
+        signs = 1.0 - 2.0 * outputs[:, :, idx]  # +1 for bit 0, -1 for bit 1
+        metrics += -signs * llr
+    return metrics
+
+
+def viterbi_decode(
+    coded: np.ndarray,
+    n_data_bits: int,
+    soft: bool = False,
+    encoder: ConvolutionalEncoder | None = None,
+    terminated: bool = True,
+) -> np.ndarray:
+    """Decode a rate-1/2 coded sequence back to ``n_data_bits`` bits.
+
+    Parameters
+    ----------
+    coded:
+        The received coded stream.  For hard decoding this is a 0/1 array
+        (possibly with :data:`ERASURE` at punctured positions); for soft
+        decoding it is an array of LLRs.
+    n_data_bits:
+        Number of information bits to return (excluding tail bits).
+    soft:
+        Use soft-decision branch metrics.
+    encoder:
+        The encoder whose trellis to use; defaults to the 802.11 encoder.
+    terminated:
+        Whether the encoder appended tail bits (the decoder then forces
+        the final state to zero).
+    """
+    encoder = encoder or ConvolutionalEncoder()
+    coded = np.asarray(coded, dtype=float)
+    if coded.size % 2 != 0:
+        raise DecodingError(f"coded length {coded.size} is not a multiple of 2")
+    n_steps = coded.size // 2
+    total_bits = n_data_bits + (encoder.tail_bits if terminated else 0)
+    if n_steps < total_bits:
+        raise DecodingError(
+            f"coded stream has {n_steps} steps but {total_bits} bits are expected"
+        )
+    n_steps = total_bits
+
+    next_state, outputs = encoder.transitions()
+    n_states = encoder.n_states
+    metric_fn = _branch_metrics_soft if soft else _branch_metrics_hard
+
+    infinity = np.inf
+    path_metric = np.full(n_states, infinity)
+    path_metric[0] = 0.0
+    decisions = np.zeros((n_steps, n_states), dtype=np.int8)
+    predecessors = np.zeros((n_steps, n_states), dtype=np.int32)
+
+    pairs = coded[: 2 * n_steps].reshape(n_steps, 2)
+    for step in range(n_steps):
+        branch = metric_fn(pairs[step], outputs)
+        new_metric = np.full(n_states, infinity)
+        new_decision = np.zeros(n_states, dtype=np.int8)
+        new_pred = np.zeros(n_states, dtype=np.int32)
+        for state in range(n_states):
+            if not np.isfinite(path_metric[state]):
+                continue
+            for bit in range(2):
+                nxt = next_state[state, bit]
+                candidate = path_metric[state] + branch[state, bit]
+                if candidate < new_metric[nxt]:
+                    new_metric[nxt] = candidate
+                    new_decision[nxt] = bit
+                    new_pred[nxt] = state
+        path_metric = new_metric
+        decisions[step] = new_decision
+        predecessors[step] = new_pred
+
+    if terminated:
+        final_state = 0
+        if not np.isfinite(path_metric[0]):
+            final_state = int(np.argmin(path_metric))
+    else:
+        final_state = int(np.argmin(path_metric))
+
+    # Trace back.
+    bits = np.zeros(n_steps, dtype=np.int8)
+    state = final_state
+    for step in range(n_steps - 1, -1, -1):
+        bits[step] = decisions[step, state]
+        state = predecessors[step, state]
+    return bits[:n_data_bits]

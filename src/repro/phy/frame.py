@@ -1,0 +1,114 @@
+"""PHY frame headers and bit-level serialization.
+
+The light-weight handshake of n+ (§3.5) splits a frame into a *header*
+(transmitted first, at a robust rate) and a *body*.  The header carries
+everything a contender for the remaining degrees of freedom needs:
+
+* a preamble (for channel estimation via reciprocity),
+* the frame duration (packet length + bitrate),
+* the number of antennas / streams used,
+* sender and receiver addresses,
+* for ACK headers: the chosen bitrate and the alignment space
+  (differentially encoded across OFDM subcarriers).
+
+This module defines the header structure and its serialization to bits;
+the MAC-layer view of the same information lives in
+:mod:`repro.mac.frames`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+import numpy as np
+
+from repro.exceptions import DecodingError
+from repro.utils.bits import append_crc32, bits_to_int, check_crc32, int_to_bits
+
+__all__ = ["FrameType", "PhyHeader", "PHY_HEADER_BITS"]
+
+
+class FrameType(IntEnum):
+    """Frame types distinguished by the PHY header."""
+
+    DATA_HEADER = 0
+    ACK_HEADER = 1
+    DATA_BODY = 2
+    ACK_BODY = 3
+
+
+#: Field widths, in bits, of the serialized PHY header (excluding CRC).
+_FIELD_WIDTHS = {
+    "frame_type": 2,
+    "source": 16,
+    "destination": 16,
+    "length_bytes": 16,
+    "mcs_index": 4,
+    "n_antennas": 3,
+    "n_streams": 3,
+    "duration_us": 20,
+}
+
+#: Total serialized header size in bits, including the CRC-32.
+PHY_HEADER_BITS = sum(_FIELD_WIDTHS.values()) + 32
+
+
+@dataclass(frozen=True)
+class PhyHeader:
+    """The information carried by a light-weight header.
+
+    Attributes
+    ----------
+    frame_type:
+        Data header, ACK header, or body marker.
+    source, destination:
+        16-bit node identifiers (stand-ins for MAC addresses).
+    length_bytes:
+        Length of the frame body this header announces.
+    mcs_index:
+        Bitrate index used for the body.
+    n_antennas:
+        Number of antennas at the transmitter.
+    n_streams:
+        Number of spatial streams the transmission will use.
+    duration_us:
+        Duration of the upcoming body transmission, microseconds (rounded).
+    """
+
+    frame_type: FrameType
+    source: int
+    destination: int
+    length_bytes: int
+    mcs_index: int
+    n_antennas: int
+    n_streams: int
+    duration_us: int
+
+    def to_bits(self) -> np.ndarray:
+        """Serialize the header to bits with a trailing CRC-32."""
+        pieces = []
+        for name, width in _FIELD_WIDTHS.items():
+            value = int(getattr(self, name))
+            pieces.append(int_to_bits(value, width))
+        bits = np.concatenate(pieces)
+        return append_crc32(bits)
+
+    @classmethod
+    def from_bits(cls, bits: np.ndarray) -> "PhyHeader":
+        """Parse a header from bits, verifying the CRC-32."""
+        bits = np.asarray(bits, dtype=np.int8)
+        if bits.size != PHY_HEADER_BITS:
+            raise DecodingError(
+                f"PHY header must be {PHY_HEADER_BITS} bits, got {bits.size}"
+            )
+        if not check_crc32(bits):
+            raise DecodingError("PHY header CRC check failed")
+        payload = bits[:-32]
+        values = {}
+        cursor = 0
+        for name, width in _FIELD_WIDTHS.items():
+            values[name] = bits_to_int(payload[cursor : cursor + width])
+            cursor += width
+        values["frame_type"] = FrameType(values["frame_type"])
+        return cls(**values)

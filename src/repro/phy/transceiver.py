@@ -1,0 +1,367 @@
+"""End-to-end multi-antenna transmit and receive chains.
+
+The transmitter turns one or more spatial streams (bits + MCS +
+per-subcarrier pre-coding vector) into per-antenna time-domain samples:
+
+    bits -> FEC (scramble, code, puncture, interleave) -> constellation
+         -> per-subcarrier pre-coding -> OFDM -> preamble + body samples
+
+The preamble is pre-coded with the same vectors as the data
+(paper footnote 1), so a receiver estimating the channel from the
+preamble directly obtains the *effective* channel of each stream and
+never needs to know the pre-coding vectors themselves.
+
+The receiver performs the inverse chain with least-squares channel
+estimation and per-subcarrier zero-forcing over all streams it can see,
+which is exactly the "solve the linear system" decoding of §2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DecodingError, DimensionError
+from repro.phy.channel_est import ChannelEstimate, estimate_mimo_channel
+from repro.phy.coding.codec import Codec
+from repro.phy.ofdm import OfdmConfig, OfdmModem
+from repro.phy.preamble import Preamble
+from repro.phy.rates import MCS
+from repro.utils.bits import bit_error_rate
+
+__all__ = ["StreamConfig", "FrameLayout", "MimoTransmitter", "MimoReceiver", "DecodedStream"]
+
+
+@dataclass
+class StreamConfig:
+    """One spatial stream of a frame.
+
+    Attributes
+    ----------
+    bits:
+        Information bits to send.
+    mcs:
+        Modulation and coding scheme of the stream.
+    precoder:
+        Pre-coding vectors: either a complex array of shape
+        ``(n_tx_antennas,)`` applied on every subcarrier, or of shape
+        ``(fft_size, n_tx_antennas)`` for per-subcarrier pre-coding
+        (the n+ case, §4 "Multipath").
+    stream_id:
+        Identifier used by receivers to refer to the stream.
+    """
+
+    bits: np.ndarray
+    mcs: MCS
+    precoder: np.ndarray
+    stream_id: int = 0
+
+    def precoder_at(self, subcarrier: int, n_antennas: int, fft_size: int) -> np.ndarray:
+        """Return the pre-coding vector used on ``subcarrier``."""
+        precoder = np.asarray(self.precoder, dtype=complex)
+        if precoder.ndim == 1:
+            vector = precoder
+        elif precoder.ndim == 2 and precoder.shape[0] == fft_size:
+            vector = precoder[subcarrier]
+        else:
+            raise DimensionError(
+                f"precoder must have shape ({n_antennas},) or ({fft_size}, {n_antennas}), "
+                f"got {precoder.shape}"
+            )
+        if vector.size != n_antennas:
+            raise DimensionError(
+                f"precoder length {vector.size} does not match antenna count {n_antennas}"
+            )
+        return vector
+
+
+@dataclass
+class FrameLayout:
+    """Describes the structure of a transmitted frame so a receiver can
+    locate the preamble and body and decode each stream.
+
+    Attributes
+    ----------
+    n_streams:
+        Number of spatial streams in the frame.
+    n_body_symbols:
+        Number of OFDM symbols in the body.
+    stream_bits:
+        Information bit count per stream (indexed by stream position).
+    stream_mcs:
+        MCS per stream.
+    stream_ids:
+        Stream identifiers in transmission order.
+    config:
+        OFDM numerology used.
+    """
+
+    n_streams: int
+    n_body_symbols: int
+    stream_bits: List[int]
+    stream_mcs: List[MCS]
+    stream_ids: List[int]
+    config: OfdmConfig = field(default_factory=OfdmConfig)
+
+    @property
+    def preamble(self) -> Preamble:
+        """The preamble structure (one LTF slot per stream)."""
+        return Preamble(n_antennas=self.n_streams, config=self.config)
+
+    @property
+    def preamble_length(self) -> int:
+        """Preamble length in samples."""
+        return self.preamble.length
+
+    @property
+    def body_length(self) -> int:
+        """Body length in samples."""
+        return self.n_body_symbols * self.config.samples_per_symbol
+
+    @property
+    def frame_length(self) -> int:
+        """Total frame length in samples."""
+        return self.preamble_length + self.body_length
+
+
+@dataclass
+class DecodedStream:
+    """Result of decoding one stream.
+
+    Attributes
+    ----------
+    stream_id:
+        Identifier of the decoded stream.
+    bits:
+        The decoded information bits.
+    evm:
+        Error-vector magnitude of the equalised constellation points.
+    post_snr_db:
+        Estimated post-equalisation SNR in dB.
+    """
+
+    stream_id: int
+    bits: np.ndarray
+    evm: float
+    post_snr_db: float
+
+    def bit_error_rate(self, reference_bits: np.ndarray) -> float:
+        """BER of the decoded bits against a known reference."""
+        return bit_error_rate(np.asarray(reference_bits, dtype=np.int8), self.bits)
+
+
+class MimoTransmitter:
+    """Builds per-antenna sample streams for a multi-stream frame."""
+
+    def __init__(self, n_antennas: int, config: Optional[OfdmConfig] = None):
+        if n_antennas < 1:
+            raise ConfigurationError("transmitter needs at least one antenna")
+        self.n_antennas = n_antennas
+        self.config = config or OfdmConfig()
+        self._modem = OfdmModem(self.config)
+
+    def build_frame(self, streams: Sequence[StreamConfig]) -> tuple:
+        """Return ``(samples, layout)`` for the given streams.
+
+        ``samples`` has shape ``(n_antennas, frame_length)``.  All streams
+        must fit in the same number of OFDM symbols; shorter streams are
+        padded by their codec.
+        """
+        streams = list(streams)
+        if not streams:
+            raise ConfigurationError("at least one stream is required")
+        cfg = self.config
+        codecs = [Codec(s.mcs) for s in streams]
+        n_symbols = max(
+            codec.n_ofdm_symbols(len(np.asarray(s.bits))) for codec, s in zip(codecs, streams)
+        )
+
+        # Encode and modulate each stream, padding to the common symbol count.
+        stream_grids = []
+        for stream, codec in zip(streams, codecs):
+            coded = codec.encode(np.asarray(stream.bits, dtype=np.int8))
+            symbols = stream.mcs.modulation.modulate(coded)
+            per_symbol = cfg.n_data_subcarriers
+            total_needed = n_symbols * per_symbol
+            if symbols.size < total_needed:
+                pad = np.zeros(total_needed - symbols.size, dtype=complex)
+                symbols = np.concatenate([symbols, pad])
+            grid = np.zeros((n_symbols, cfg.fft_size), dtype=complex)
+            grid[:, list(cfg.data_indices)] = symbols.reshape(n_symbols, per_symbol)
+            pilot_cols = list(cfg.pilot_indices)
+            grid[:, pilot_cols] = 1.0
+            stream_grids.append(grid)
+
+        # Apply per-subcarrier pre-coding and sum streams per antenna.
+        antenna_grids = np.zeros((self.n_antennas, n_symbols, cfg.fft_size), dtype=complex)
+        for stream, grid in zip(streams, stream_grids):
+            for subcarrier in range(cfg.fft_size):
+                vector = stream.precoder_at(subcarrier, self.n_antennas, cfg.fft_size)
+                antenna_grids[:, :, subcarrier] += np.outer(vector, grid[:, subcarrier])
+
+        body = np.stack(
+            [self._modem.modulate_grid(antenna_grids[a]) for a in range(self.n_antennas)]
+        )
+
+        # Pre-coded preamble: one LTF slot per stream, each passed through
+        # that stream's pre-coding vectors.
+        layout = FrameLayout(
+            n_streams=len(streams),
+            n_body_symbols=n_symbols,
+            stream_bits=[len(np.asarray(s.bits)) for s in streams],
+            stream_mcs=[s.mcs for s in streams],
+            stream_ids=[s.stream_id for s in streams],
+            config=cfg,
+        )
+        preamble_samples = self._build_precoded_preamble(streams, layout.preamble)
+        samples = np.concatenate([preamble_samples, body], axis=1)
+        return samples, layout
+
+    def _build_precoded_preamble(
+        self, streams: Sequence[StreamConfig], preamble: Preamble
+    ) -> np.ndarray:
+        """Pre-code the per-stream preamble onto the physical antennas."""
+        cfg = self.config
+        virtual = preamble.per_antenna_samples()  # (n_streams, length)
+        out = np.zeros((self.n_antennas, preamble.length), dtype=complex)
+        from repro.phy.preamble import ltf_frequency_sequence, long_training_field, short_training_field
+
+        stf = short_training_field(cfg) / np.sqrt(len(streams))
+        # STF: transmit through the first stream's average pre-coder so the
+        # field keeps its periodic structure for detection and CFO.
+        first_vector = streams[0].precoder_at(cfg.data_indices[0], self.n_antennas, cfg.fft_size)
+        norm = np.linalg.norm(first_vector)
+        if norm > 0:
+            first_vector = first_vector / norm
+        out[:, : len(stf)] += np.outer(first_vector, stf)
+
+        # LTF slots: stream i's LTF, pre-coded per subcarrier.
+        modem = self._modem
+        reference = ltf_frequency_sequence(cfg)
+        from repro.constants import NUM_LONG_TRAINING_SYMBOLS
+
+        for position, stream in enumerate(streams):
+            start, end = preamble.ltf_slot_bounds(position)
+            grid = np.zeros((NUM_LONG_TRAINING_SYMBOLS, cfg.fft_size, self.n_antennas), dtype=complex)
+            for subcarrier in range(cfg.fft_size):
+                if reference[subcarrier] == 0:
+                    continue
+                vector = stream.precoder_at(subcarrier, self.n_antennas, cfg.fft_size)
+                grid[:, subcarrier, :] = reference[subcarrier] * vector
+            for antenna in range(self.n_antennas):
+                out[antenna, start:end] = modem.modulate_grid(grid[:, :, antenna])
+        return out
+
+
+class MimoReceiver:
+    """Estimates effective channels and decodes wanted streams."""
+
+    def __init__(self, n_antennas: int, config: Optional[OfdmConfig] = None):
+        if n_antennas < 1:
+            raise ConfigurationError("receiver needs at least one antenna")
+        self.n_antennas = n_antennas
+        self.config = config or OfdmConfig()
+        self._modem = OfdmModem(self.config)
+
+    # -- channel estimation --------------------------------------------------
+
+    def estimate_effective_channels(
+        self, samples: np.ndarray, layout: FrameLayout, frame_start: int = 0
+    ) -> ChannelEstimate:
+        """Estimate the per-stream effective channel from the preamble.
+
+        The returned estimate has one "transmit antenna" per *stream*: the
+        effective channel already folds in the transmitter's pre-coding.
+        """
+        samples = np.asarray(samples, dtype=complex)
+        if samples.ndim == 1:
+            samples = samples.reshape(1, -1)
+        if samples.shape[0] != self.n_antennas:
+            raise DimensionError(
+                f"expected {self.n_antennas} receive chains, got {samples.shape[0]}"
+            )
+        return estimate_mimo_channel(samples, layout.preamble, frame_start)
+
+    # -- decoding -------------------------------------------------------------
+
+    def decode(
+        self,
+        samples: np.ndarray,
+        layout: FrameLayout,
+        wanted_streams: Optional[Sequence[int]] = None,
+        channel_estimate: Optional[ChannelEstimate] = None,
+        frame_start: int = 0,
+        noise_power: float = 1e-6,
+    ) -> Dict[int, DecodedStream]:
+        """Decode the wanted streams of a frame.
+
+        Parameters
+        ----------
+        samples:
+            Received samples, shape ``(n_rx, n_samples)``.
+        layout:
+            The frame layout shared by the transmitter (in the protocol it
+            is conveyed by the light-weight header).
+        wanted_streams:
+            Stream ids to decode; defaults to all streams in the frame.
+        channel_estimate:
+            Optional pre-computed effective-channel estimate.
+        frame_start:
+            Sample index where the frame begins.
+        noise_power:
+            Noise power per subcarrier used by the soft demapper.
+        """
+        samples = np.asarray(samples, dtype=complex)
+        if samples.ndim == 1:
+            samples = samples.reshape(1, -1)
+        wanted = list(wanted_streams) if wanted_streams is not None else list(layout.stream_ids)
+        estimate = channel_estimate or self.estimate_effective_channels(samples, layout, frame_start)
+
+        cfg = layout.config
+        body_start = frame_start + layout.preamble_length
+        body_end = body_start + layout.body_length
+        if body_end > samples.shape[1]:
+            raise DecodingError("received samples end before the frame body does")
+        grids = np.stack(
+            [self._modem.demodulate_grid(samples[a, body_start:body_end]) for a in range(samples.shape[0])]
+        )  # (n_rx, n_symbols, fft_size)
+
+        n_streams = layout.n_streams
+        data_indices = list(cfg.data_indices)
+        equalised = np.zeros((n_streams, layout.n_body_symbols, len(data_indices)), dtype=complex)
+        post_noise = np.zeros((n_streams, len(data_indices)))
+        for column, subcarrier in enumerate(data_indices):
+            h = estimate.at(subcarrier)  # (n_rx, n_streams)
+            y = grids[:, :, subcarrier]  # (n_rx, n_symbols)
+            h_pinv = np.linalg.pinv(h)
+            x_hat = h_pinv @ y  # (n_streams, n_symbols)
+            equalised[:, :, column] = x_hat
+            # Noise enhancement of the ZF equaliser per stream.
+            enhancement = np.sum(np.abs(h_pinv) ** 2, axis=1)
+            post_noise[:, column] = noise_power * enhancement
+
+        results: Dict[int, DecodedStream] = {}
+        for position, stream_id in enumerate(layout.stream_ids):
+            if stream_id not in wanted:
+                continue
+            mcs = layout.stream_mcs[position]
+            n_bits = layout.stream_bits[position]
+            codec = Codec(mcs)
+            n_needed_symbols = codec.n_ofdm_symbols(n_bits)
+            points = equalised[position, :n_needed_symbols, :].reshape(-1)
+            coded_hard = mcs.modulation.demodulate_hard(points)
+            bits = codec.decode(coded_hard, n_bits, soft=False)
+            # Link-quality metrics from the equalised constellation.
+            reference = mcs.modulation.points[
+                np.argmin(np.abs(points[:, None] - mcs.modulation.points[None, :]) ** 2, axis=1)
+            ]
+            error = points - reference
+            evm = float(np.sqrt(np.mean(np.abs(error) ** 2)))
+            signal = float(np.mean(np.abs(reference) ** 2))
+            post_snr_db = float(10 * np.log10(max(signal, 1e-30) / max(evm**2, 1e-30)))
+            results[stream_id] = DecodedStream(
+                stream_id=stream_id, bits=bits, evm=evm, post_snr_db=post_snr_db
+            )
+        return results

@@ -1,0 +1,99 @@
+"""A minimal discrete-event scheduler.
+
+The main simulation loop (:mod:`repro.sim.runner`) advances time
+transmission by transmission, but a few things happen on their own clock:
+Poisson packet arrivals, periodic metric snapshots, and user callbacks in
+the examples.  The :class:`EventScheduler` provides the usual
+``schedule``/``run_until`` primitives for those, with deterministic
+ordering for events that share a timestamp.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.exceptions import SimulationError
+
+__all__ = ["EventScheduler"]
+
+
+@dataclass(order=True)
+class _Event:
+    time_us: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventScheduler:
+    """A heap-based event queue keyed by simulation time in microseconds."""
+
+    def __init__(self) -> None:
+        self._queue: List[_Event] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+
+    @property
+    def now_us(self) -> float:
+        """Current simulation time, microseconds."""
+        return self._now
+
+    def schedule_at(self, time_us: float, callback: Callable[[], None]) -> _Event:
+        """Schedule ``callback`` at an absolute time."""
+        if time_us < self._now:
+            raise SimulationError(
+                f"cannot schedule an event at {time_us} us, current time is {self._now} us"
+            )
+        event = _Event(time_us=time_us, sequence=next(self._counter), callback=callback)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_in(self, delay_us: float, callback: Callable[[], None]) -> _Event:
+        """Schedule ``callback`` after a relative delay."""
+        if delay_us < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay_us}")
+        return self.schedule_at(self._now + delay_us, callback)
+
+    def cancel(self, event: _Event) -> None:
+        """Cancel a previously scheduled event (lazy removal)."""
+        event.cancelled = True
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    def step(self) -> bool:
+        """Run the next event.  Returns ``False`` when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time_us
+            event.callback()
+            return True
+        return False
+
+    def run_until(self, time_us: float) -> None:
+        """Run every event scheduled at or before ``time_us``."""
+        while self._queue:
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if head.time_us > time_us:
+                break
+            self.step()
+        self._now = max(self._now, time_us)
+
+    def run_all(self, max_events: int = 1_000_000) -> int:
+        """Run until the queue drains; returns the number of events run."""
+        count = 0
+        while self.step():
+            count += 1
+            if count >= max_events:
+                raise SimulationError(f"event budget of {max_events} exceeded")
+        return count

@@ -1,0 +1,238 @@
+"""Link abstraction: from streams on the air to post-projection SNRs.
+
+Instead of simulating every sample of every packet, the MAC-level
+simulator computes -- per OFDM subcarrier -- the SNR each wanted stream
+would see at its receiver after the receiver projects out the
+interference it can see and zero-forces among its wanted streams.  The
+computation uses:
+
+* the *true* channels of the run (the pre-coders, in contrast, were
+  computed by the transmitters from *estimated* channels),
+* the pre-coding vectors and power of every stream on the air,
+* the residual-interference model of the hardware profile for streams
+  that were pre-coded to protect this receiver (imperfect nulling and
+  alignment, §6.2).
+
+How an interfering stream is handled depends on what the receiver can
+know about it:
+
+* a stream whose transmitter *protected* this receiver (nulling or
+  alignment) contributes only residual noise;
+* a stream that was already on the air when this receiver's transmission
+  started -- or another stream from the *same* transmitter -- was present
+  in the preamble the receiver used for channel estimation, so the
+  receiver projects it out (it costs a signal dimension);
+* a stream that appeared later *without* protecting this receiver (a
+  secondary-contention collision) is untreatable interference and is
+  counted at full power.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.mimo.decoder import post_projection_snr_db
+from repro.mimo.dof import InterferenceStrategy
+from repro.sim.medium import ScheduledStream
+
+__all__ = [
+    "receiver_stream_snrs",
+    "unprotected_interference_power",
+    "interference_directions_at",
+    "announced_decoding_subspace",
+]
+
+
+def unprotected_interference_power(
+    channel: np.ndarray, stream: ScheduledStream, subcarrier: int
+) -> float:
+    """Average per-receive-antenna power the stream would create at a
+    receiver with no protective pre-coding, on one subcarrier.
+
+    For a unit-norm pre-coder drawn independently of the channel, the
+    expected per-antenna interference power is ``power * ||H||_F^2 / (N M)``.
+    """
+    h = channel[subcarrier]
+    n_rx, n_tx = h.shape
+    return float(stream.power * np.sum(np.abs(h) ** 2) / (n_rx * n_tx))
+
+
+def _effective_column(channel: np.ndarray, stream: ScheduledStream, subcarrier: int) -> np.ndarray:
+    """The effective (power-scaled) channel column of a stream at a receiver."""
+    h = channel[subcarrier]
+    precoder = stream.precoders[subcarrier]
+    return np.sqrt(stream.power) * (h @ precoder)
+
+
+def interference_directions_at(
+    network, receiver_id: int, streams: Sequence[ScheduledStream]
+) -> np.ndarray:
+    """Effective channel columns of ``streams`` at a receiver.
+
+    Returns a complex array of shape ``(n_subcarriers, N, len(streams))``
+    -- the directions along which those streams arrive, which is what the
+    receiver projects out and what defines its unwanted space.
+    """
+    streams = list(streams)
+    n_sub = network.n_subcarriers
+    n_rx = network.station(receiver_id).n_antennas
+    out = np.zeros((n_sub, n_rx, len(streams)), dtype=complex)
+    for index, stream in enumerate(streams):
+        channel = network.true_channel(stream.transmitter_id, receiver_id)
+        for k in range(n_sub):
+            out[k, :, index] = _effective_column(channel, stream, k)
+    return out
+
+
+def announced_decoding_subspace(
+    network,
+    receiver_id: int,
+    wanted_streams: Sequence[ScheduledStream],
+    interference_streams: Sequence[ScheduledStream],
+) -> np.ndarray:
+    """The per-subcarrier U-perp a receiver announces in its light-weight CTS.
+
+    U-perp spans the directions the receiver actually uses to decode its
+    wanted streams: the wanted effective channels projected orthogonal to
+    the interference the receiver already sees.  A joiner that keeps its
+    signal orthogonal to U-perp (Claim 3.4) therefore cannot disturb the
+    receiver's decoding.
+
+    Returns an array of shape ``(n_subcarriers, N, n_wanted)``.
+    """
+    from repro.utils.linalg import orthonormal_basis, project_out_subspace
+
+    wanted = list(wanted_streams)
+    n_sub = network.n_subcarriers
+    n_rx = network.station(receiver_id).n_antennas
+    n_wanted = len(wanted)
+    out = np.zeros((n_sub, n_rx, n_wanted), dtype=complex)
+    wanted_dirs = interference_directions_at(network, receiver_id, wanted)
+    interference_dirs = (
+        interference_directions_at(network, receiver_id, interference_streams)
+        if interference_streams
+        else None
+    )
+    for k in range(n_sub):
+        columns = wanted_dirs[k]
+        if interference_dirs is not None and interference_dirs.shape[2]:
+            columns = project_out_subspace(columns, interference_dirs[k])
+        basis = orthonormal_basis(columns)
+        out[k, :, : basis.shape[1]] = basis
+        if basis.shape[1] < n_wanted:
+            # Degenerate channel: pad with arbitrary orthonormal directions
+            # so downstream shapes stay consistent.
+            from repro.utils.linalg import orthonormal_complement
+
+            filler = orthonormal_complement(basis)
+            missing = n_wanted - basis.shape[1]
+            out[k, :, basis.shape[1] : n_wanted] = filler[:, :missing]
+    return out
+
+
+def receiver_stream_snrs(
+    network,
+    receiver_id: int,
+    wanted_streams: Sequence[ScheduledStream],
+    concurrent_streams: Sequence[ScheduledStream],
+    rng: Optional[np.random.Generator] = None,
+) -> Dict[int, np.ndarray]:
+    """Per-subcarrier post-projection SNRs of the wanted streams.
+
+    Parameters
+    ----------
+    network:
+        The :class:`repro.sim.network.Network` of the run (provides true
+        channels, the hardware profile and the noise normalisation).
+    receiver_id:
+        The receiving node.
+    wanted_streams:
+        The streams this receiver wants to decode (all from one
+        transmitter).
+    concurrent_streams:
+        Every stream on the air during the reception, including the wanted
+        ones.
+    rng:
+        Optional generator for the residual-suppression spread; omit for a
+        deterministic mean-suppression model.
+
+    Returns
+    -------
+    dict
+        Maps each wanted stream's ``stream_id`` to an array of
+        per-subcarrier SNRs in dB.
+    """
+    wanted = list(wanted_streams)
+    if not wanted:
+        return {}
+    wanted_ids = {s.stream_id for s in wanted}
+    transmitter_id = wanted[0].transmitter_id
+    first_wanted_order = min(s.join_order for s in wanted)
+    n_sub = network.n_subcarriers
+    noise = network.noise_power
+
+    # Pre-fetch channels from every involved transmitter to this receiver.
+    transmitters = {s.transmitter_id for s in concurrent_streams} | {transmitter_id}
+    channels = {
+        tx: network.true_channel(tx, receiver_id) for tx in transmitters if tx != receiver_id
+    }
+
+    projection_streams: List[ScheduledStream] = []
+    residual_streams: List[ScheduledStream] = []
+    raw_streams: List[ScheduledStream] = []
+    for stream in concurrent_streams:
+        if stream.stream_id in wanted_ids:
+            continue
+        if stream.transmitter_id == receiver_id:
+            # A node does not interfere with its own reception (half duplex:
+            # it would not be receiving at all; guard anyway).
+            continue
+        if stream.protects(receiver_id):
+            residual_streams.append(stream)
+        elif stream.transmitter_id == transmitter_id or stream.join_order <= first_wanted_order:
+            projection_streams.append(stream)
+        else:
+            raw_streams.append(stream)
+
+    snrs: Dict[int, List[float]] = {s.stream_id: [] for s in wanted}
+    for k in range(n_sub):
+        wanted_matrix = np.stack(
+            [_effective_column(channels[s.transmitter_id], s, k) for s in wanted], axis=1
+        )
+        if projection_streams:
+            interference = np.stack(
+                [
+                    _effective_column(channels[s.transmitter_id], s, k)
+                    for s in projection_streams
+                ],
+                axis=1,
+            )
+        else:
+            interference = None
+
+        residual_power = 0.0
+        for stream in residual_streams:
+            strategy = stream.protected_receivers.get(receiver_id, InterferenceStrategy.NULL)
+            unprotected = unprotected_interference_power(
+                channels[stream.transmitter_id], stream, k
+            )
+            residual_power += network.hardware.residual_interference_power(
+                unprotected, aligned=strategy is InterferenceStrategy.ALIGN, rng=rng
+            )
+        for stream in raw_streams:
+            residual_power += unprotected_interference_power(
+                channels[stream.transmitter_id], stream, k
+            )
+
+        per_stream = post_projection_snr_db(
+            wanted_matrix,
+            interference,
+            noise_power=noise,
+            signal_power=1.0,
+            residual_interference_power=residual_power,
+        )
+        for index, stream in enumerate(wanted):
+            snrs[stream.stream_id].append(float(per_stream[index]))
+    return {stream_id: np.asarray(values) for stream_id, values in snrs.items()}

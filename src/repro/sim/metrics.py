@@ -1,0 +1,117 @@
+"""Throughput and fairness accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+__all__ = ["LinkMetrics", "NetworkMetrics", "empirical_cdf", "jain_fairness_index"]
+
+
+@dataclass
+class LinkMetrics:
+    """Counters for one transmitter-receiver pair.
+
+    Attributes
+    ----------
+    pair_name:
+        Human-readable label of the pair.
+    delivered_bits:
+        Payload bits acknowledged.
+    attempted_bits:
+        Payload bits put on the air.
+    packets_delivered, packets_failed:
+        Transmission outcomes at packet granularity.
+    airtime_us:
+        Time this pair spent transmitting data bodies.
+    transmissions, joins, collisions:
+        Protocol-level event counts.
+    """
+
+    pair_name: str
+    delivered_bits: int = 0
+    attempted_bits: int = 0
+    packets_delivered: int = 0
+    packets_failed: int = 0
+    airtime_us: float = 0.0
+    transmissions: int = 0
+    joins: int = 0
+    collisions: int = 0
+
+    def throughput_mbps(self, elapsed_us: float) -> float:
+        """Delivered throughput over an observation window."""
+        if elapsed_us <= 0:
+            return 0.0
+        return self.delivered_bits / elapsed_us
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Fraction of attempted bits that were delivered."""
+        if self.attempted_bits == 0:
+            return 0.0
+        return self.delivered_bits / self.attempted_bits
+
+
+@dataclass
+class NetworkMetrics:
+    """Aggregated counters for one simulation run.
+
+    Attributes
+    ----------
+    elapsed_us:
+        Length of the observation window.
+    links:
+        Per-pair metrics keyed by pair name.
+    """
+
+    elapsed_us: float = 0.0
+    links: Dict[str, LinkMetrics] = field(default_factory=dict)
+
+    def link(self, pair_name: str) -> LinkMetrics:
+        """Get (or create) the metrics of a pair."""
+        if pair_name not in self.links:
+            self.links[pair_name] = LinkMetrics(pair_name=pair_name)
+        return self.links[pair_name]
+
+    # -- aggregates -------------------------------------------------------------
+
+    def total_throughput_mbps(self) -> float:
+        """Sum of per-link throughputs, Mb/s."""
+        return sum(m.throughput_mbps(self.elapsed_us) for m in self.links.values())
+
+    def throughput_mbps(self, pair_name: str) -> float:
+        """Throughput of one pair, Mb/s."""
+        return self.link(pair_name).throughput_mbps(self.elapsed_us)
+
+    def per_link_throughputs(self) -> Dict[str, float]:
+        """Throughput of every pair, Mb/s."""
+        return {
+            name: metrics.throughput_mbps(self.elapsed_us)
+            for name, metrics in self.links.items()
+        }
+
+    def fairness_index(self) -> float:
+        """Jain fairness index of the per-link throughputs."""
+        return jain_fairness_index(self.per_link_throughputs().values())
+
+
+def empirical_cdf(values: Sequence[float]) -> tuple:
+    """Return ``(sorted_values, cumulative_probabilities)`` for CDF plots.
+
+    This is the form used by every CDF figure in the paper's evaluation.
+    """
+    data = np.sort(np.asarray(list(values), dtype=float))
+    if data.size == 0:
+        return np.array([]), np.array([])
+    probabilities = np.arange(1, data.size + 1) / data.size
+    return data, probabilities
+
+
+def jain_fairness_index(values: Iterable[float]) -> float:
+    """Jain's fairness index: 1.0 means perfectly equal shares."""
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0 or np.all(data == 0):
+        return 1.0
+    return float(np.sum(data) ** 2 / (data.size * np.sum(data**2)))

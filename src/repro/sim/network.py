@@ -1,0 +1,161 @@
+"""One simulated network instance: stations, placements and channels.
+
+A :class:`Network` freezes everything that is random *per run* in the
+paper's methodology -- the assignment of nodes to testbed locations and
+the resulting channels -- so the MAC protocols under comparison see the
+exact same propagation environment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.channel.hardware import HardwareProfile
+from repro.channel.testbed import Testbed, default_testbed
+from repro.exceptions import ConfigurationError
+from repro.sim.node import Station, TrafficPair
+
+__all__ = ["Network"]
+
+
+class Network:
+    """Stations plus the (true) channels between every pair of them.
+
+    Parameters
+    ----------
+    stations:
+        All nodes in the network.
+    pairs:
+        The transmitter-receiver pairs with traffic.
+    rng:
+        Random generator used for placements, fading and estimation error.
+    testbed:
+        The synthetic deployment; defaults to :func:`default_testbed`.
+    n_subcarriers:
+        Number of (evenly spaced) OFDM subcarriers tracked by the link
+        abstraction.  16 keeps runs fast while retaining frequency
+        selectivity; use 64 for full fidelity.
+    forced_link_snrs_db:
+        Optional map ``(tx_id, rx_id) -> SNR`` overriding the geometric
+        link budget for controlled experiments.
+    """
+
+    def __init__(
+        self,
+        stations: List[Station],
+        pairs: List[TrafficPair],
+        rng: np.random.Generator,
+        testbed: Optional[Testbed] = None,
+        n_subcarriers: int = 16,
+        forced_link_snrs_db: Optional[Dict[Tuple[int, int], float]] = None,
+    ) -> None:
+        if n_subcarriers < 1:
+            raise ConfigurationError("need at least one subcarrier")
+        self.stations: Dict[int, Station] = {s.node_id: s for s in stations}
+        if len(self.stations) != len(stations):
+            raise ConfigurationError("station ids must be unique")
+        self.pairs = list(pairs)
+        self.rng = rng
+        self.testbed = testbed or default_testbed()
+        self.n_subcarriers = n_subcarriers
+        self.noise_power = 1.0
+        self.hardware: HardwareProfile = self.testbed.hardware
+        self._forced_snrs = dict(forced_link_snrs_db or {})
+
+        self._place_stations()
+        self._channels: Dict[Tuple[int, int], np.ndarray] = {}
+        self._link_snrs: Dict[Tuple[int, int], float] = {}
+        self._draw_channels()
+
+    # -- construction helpers -----------------------------------------------------
+
+    def _place_stations(self) -> None:
+        placements = self.testbed.place_nodes(len(self.stations), self.rng)
+        for station, location in zip(self.stations.values(), placements):
+            station.location = int(location)
+
+    def _subcarrier_indices(self) -> np.ndarray:
+        from repro.phy.ofdm import OfdmConfig
+
+        data_bins = np.array(OfdmConfig().data_indices)
+        if self.n_subcarriers >= data_bins.size:
+            return data_bins
+        picks = np.linspace(0, data_bins.size - 1, self.n_subcarriers).round().astype(int)
+        return data_bins[picks]
+
+    def _draw_channels(self) -> None:
+        """Draw one frequency-selective channel per unordered station pair
+        and derive the reverse direction by reciprocity (transposition)."""
+        bins = self._subcarrier_indices()
+        ids = sorted(self.stations)
+        for i, a in enumerate(ids):
+            for b in ids[i + 1 :]:
+                sta_a = self.stations[a]
+                sta_b = self.stations[b]
+                forced = self._forced_snrs.get((a, b), self._forced_snrs.get((b, a)))
+                link = self.testbed.link(
+                    sta_a.location,
+                    sta_b.location,
+                    n_tx=sta_a.n_antennas,
+                    n_rx=sta_b.n_antennas,
+                    rng=self.rng,
+                    snr_db=forced,
+                )
+                response = link.frequency_response(64)[bins]  # (n_sub, N_b, M_a)
+                self._channels[(a, b)] = response
+                self._channels[(b, a)] = np.transpose(response, (0, 2, 1)).copy()
+                self._link_snrs[(a, b)] = link.snr_db
+                self._link_snrs[(b, a)] = link.snr_db
+
+    # -- lookups ---------------------------------------------------------------------
+
+    def station(self, node_id: int) -> Station:
+        """The station with the given id."""
+        return self.stations[node_id]
+
+    def pair_for_transmitter(self, node_id: int) -> TrafficPair:
+        """The traffic pair whose transmitter is ``node_id``."""
+        for pair in self.pairs:
+            if pair.transmitter.node_id == node_id:
+                return pair
+        raise ConfigurationError(f"node {node_id} is not a transmitter of any pair")
+
+    def link_snr_db(self, tx_id: int, rx_id: int) -> float:
+        """The average SNR of the link between two stations."""
+        return self._link_snrs[(tx_id, rx_id)]
+
+    def true_channel(self, tx_id: int, rx_id: int) -> np.ndarray:
+        """The true per-subcarrier channel ``(n_subcarriers, N_rx, M_tx)``."""
+        if tx_id == rx_id:
+            raise ConfigurationError("a node has no channel to itself")
+        return self._channels[(tx_id, rx_id)]
+
+    def estimated_channel(
+        self, tx_id: int, rx_id: int, reciprocity: bool = False
+    ) -> np.ndarray:
+        """A noisy estimate of the channel, as a node would measure it.
+
+        ``reciprocity=True`` models an estimate derived from the reverse
+        direction (what a joiner does with overheard CTS headers), which
+        carries the additional calibration error of §2's footnote 2.
+        """
+        true = self.true_channel(tx_id, rx_id)
+        return self.hardware.perturb_channel(true, self.rng, reciprocity=reciprocity)
+
+    # -- summary ---------------------------------------------------------------------
+
+    def describe(self) -> str:
+        """A short human-readable summary of the drawn network."""
+        lines = []
+        for pair in self.pairs:
+            tx = pair.transmitter
+            for receiver in pair.receivers:
+                snr = self.link_snr_db(tx.node_id, receiver.node_id)
+                lines.append(
+                    f"{tx.name} ({tx.n_antennas} ant) -> {receiver.name} "
+                    f"({receiver.n_antennas} ant): {snr:.1f} dB"
+                )
+        return "\n".join(lines)

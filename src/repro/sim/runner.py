@@ -1,0 +1,370 @@
+"""The main simulation loop: contention, transmission, join, delivery.
+
+Each iteration of the loop is one joint transmission on the medium:
+
+1. every backlogged node contends (condensed DCF); the winner starts
+   transmitting after DIFS + backoff + its light-weight header;
+2. if the protocol supports joining (n+), secondary contention rounds run
+   while degrees of freedom and airtime remain; every joiner ends exactly
+   with the first winner;
+3. when the bodies end, each receiver's outcome is evaluated from the
+   post-projection SNRs of its streams (with the residual interference of
+   imperfect nulling/alignment included), ACKs are exchanged and queues
+   and contention windows are updated.
+
+The per-run environment (placements, channels) is frozen in a
+:class:`~repro.sim.network.Network`, so different protocols can be
+compared on identical channel realisations, as the paper does by running
+all schemes at each set of node locations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.constants import SLOT_TIME_US
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.mac.csma import resolve_contention
+from repro.phy.esnr import packet_delivery_probability
+from repro.sim.link_abstraction import receiver_stream_snrs
+from repro.sim.medium import Medium, ScheduledStream
+from repro.sim.metrics import NetworkMetrics
+from repro.sim.network import Network
+from repro.sim.scenarios import Scenario
+
+__all__ = ["SimulationConfig", "run_simulation", "run_many", "mac_factory"]
+
+#: Registry of protocol names to agent classes (filled lazily to avoid
+#: circular imports between the MAC and simulation packages).
+_PROTOCOLS: Dict[str, Callable] = {}
+
+
+def mac_factory(protocol: str) -> Callable:
+    """Return the agent class registered under ``protocol``.
+
+    Supported names: ``"802.11n"``, ``"n+"``, ``"beamforming"``.
+    """
+    if not _PROTOCOLS:
+        from repro.mac.beamforming import BeamformingMac
+        from repro.mac.dot11n import Dot11nMac
+        from repro.mac.nplus import NPlusMac
+
+        _PROTOCOLS.update(
+            {
+                Dot11nMac.protocol_name: Dot11nMac,
+                NPlusMac.protocol_name: NPlusMac,
+                BeamformingMac.protocol_name: BeamformingMac,
+            }
+        )
+    try:
+        return _PROTOCOLS[protocol]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown protocol {protocol!r}; choose from {sorted(_PROTOCOLS)}"
+        ) from None
+
+
+@dataclass
+class SimulationConfig:
+    """Parameters of one simulation run.
+
+    Attributes
+    ----------
+    duration_us:
+        Simulated time.
+    packet_size_bytes:
+        Payload of every generated packet (1500 in the paper).
+    n_subcarriers:
+        Subcarriers tracked by the link abstraction.
+    min_join_airtime_us:
+        A joiner needs at least this much airtime left to bother joining.
+    bitrate_margin_db:
+        Safety margin for bitrate selection.
+    max_rounds:
+        Hard cap on transmission rounds (guards against runaway loops).
+    packet_rate_pps:
+        Per-flow Poisson packet arrival rate.  ``None`` (the default) means
+        saturated sources, which is what the paper's evaluation uses; a
+        finite rate models bursty traffic.
+    """
+
+    duration_us: float = 100_000.0
+    packet_size_bytes: int = 1500
+    n_subcarriers: int = 16
+    min_join_airtime_us: float = 96.0
+    bitrate_margin_db: float = 1.0
+    max_rounds: int = 200_000
+    packet_rate_pps: Optional[float] = None
+
+
+@dataclass
+class _TransmissionGroup:
+    """One (transmitter, receiver) reception to evaluate at the end."""
+
+    agent: object
+    receiver_id: int
+    streams: List[ScheduledStream]
+    payload_bits: int
+    collided: bool = False
+    joined: bool = False
+
+
+def _build_agents(
+    scenario: Scenario,
+    network: Network,
+    protocol: str,
+    rng: np.random.Generator,
+    config: SimulationConfig,
+) -> Dict[int, object]:
+    agent_class = mac_factory(protocol)
+    agents: Dict[int, object] = {}
+    for pair in scenario.pairs:
+        agents[pair.transmitter.node_id] = agent_class(
+            pair,
+            network,
+            rng,
+            packet_size_bytes=config.packet_size_bytes,
+            bitrate_margin_db=config.bitrate_margin_db,
+            packet_rate_pps=config.packet_rate_pps,
+        )
+    return agents
+
+
+def _groups_from_streams(
+    agent, streams: Sequence[ScheduledStream], collided: bool, joined: bool
+) -> List[_TransmissionGroup]:
+    groups: Dict[int, _TransmissionGroup] = {}
+    for stream in streams:
+        group = groups.get(stream.receiver_id)
+        if group is None:
+            group = _TransmissionGroup(
+                agent=agent,
+                receiver_id=stream.receiver_id,
+                streams=[],
+                payload_bits=0,
+                collided=collided,
+                joined=joined,
+            )
+            groups[stream.receiver_id] = group
+        group.streams.append(stream)
+        group.payload_bits += stream.payload_bits
+    return [g for g in groups.values() if g.payload_bits > 0 or g.collided]
+
+
+def _evaluate_group(
+    network: Network,
+    group: _TransmissionGroup,
+    all_streams: Sequence[ScheduledStream],
+    rng: np.random.Generator,
+) -> bool:
+    """Decide whether the group's payload was delivered."""
+    if group.collided:
+        return False
+    if group.payload_bits <= 0:
+        return False
+    snrs = receiver_stream_snrs(
+        network, group.receiver_id, group.streams, list(all_streams), rng=rng
+    )
+    probability = 1.0
+    for stream in group.streams:
+        per_subcarrier = snrs[stream.stream_id]
+        probability = min(
+            probability,
+            packet_delivery_probability(per_subcarrier, stream.mcs, group.payload_bits),
+        )
+    return bool(rng.random() < probability)
+
+
+def run_simulation(
+    scenario: Scenario,
+    protocol: str,
+    seed: int = 0,
+    config: Optional[SimulationConfig] = None,
+    network: Optional[Network] = None,
+) -> NetworkMetrics:
+    """Simulate one run of ``protocol`` on ``scenario``.
+
+    Parameters
+    ----------
+    scenario:
+        The topology (stations and traffic pairs).
+    protocol:
+        ``"802.11n"``, ``"n+"`` or ``"beamforming"``.
+    seed:
+        Seed for placements, channels, backoff and delivery draws.
+    config:
+        Simulation parameters.
+    network:
+        Reuse an existing network (same placements/channels) instead of
+        drawing a new one -- this is how protocols are compared on the
+        same channel realisation.
+    """
+    config = config or SimulationConfig()
+    rng = np.random.default_rng(seed)
+    if network is None:
+        network = Network(
+            scenario.stations,
+            scenario.pairs,
+            rng,
+            n_subcarriers=config.n_subcarriers,
+        )
+    agents = _build_agents(scenario, network, protocol, rng, config)
+    medium = Medium()
+    metrics = NetworkMetrics()
+    for pair in scenario.pairs:
+        metrics.link(pair.name)
+
+    now = 0.0
+    rounds = 0
+    while now < config.duration_us:
+        rounds += 1
+        if rounds > config.max_rounds:
+            raise SimulationError("simulation exceeded the configured round budget")
+
+        contending = [agent for agent in agents.values() if agent.has_traffic(now)]
+        if not contending:
+            now += SLOT_TIME_US
+            continue
+
+        outcome = resolve_contention([agent.contender for agent in contending], rng)
+        groups: List[_TransmissionGroup] = []
+
+        if outcome.collision:
+            # Every collided winner transmits; all of their frames are lost.
+            end_max = now + outcome.start_delay_us
+            ack_us = 0.0
+            for node_id in outcome.winners:
+                agent = agents[node_id]
+                body_start = now + outcome.start_delay_us + agent.header_duration_us()
+                streams = agent.plan_initial(body_start, medium)
+                if not streams:
+                    continue
+                medium.add_streams(streams)
+                groups.extend(_groups_from_streams(agent, streams, collided=True, joined=False))
+                metrics.link(agent.name).collisions += 1
+                end_max = max(end_max, max(s.end_us for s in streams))
+                ack_us = max(ack_us, agent.ack_duration_us())
+            end_of_round = end_max + ack_us
+        else:
+            winner = agents[outcome.winners[0]]
+            body_start = now + outcome.start_delay_us + winner.header_duration_us()
+            streams = winner.plan_initial(body_start, medium)
+            if not streams:
+                # Nothing to send after all (race with traffic); burn a slot.
+                now += outcome.start_delay_us
+                continue
+            medium.add_streams(streams)
+            groups.extend(_groups_from_streams(winner, streams, collided=False, joined=False))
+            metrics.link(winner.name).transmissions += 1
+            ack_us = winner.ack_duration_us()
+
+            # Secondary contention for the unused degrees of freedom.
+            sense_start = body_start
+            exhausted: set = set()
+            while True:
+                eligible = [
+                    agent
+                    for agent in agents.values()
+                    if agent.supports_joining
+                    and agent.node_id not in exhausted
+                    and agent.can_join(sense_start, medium, config.min_join_airtime_us)
+                ]
+                if not eligible:
+                    break
+                join_round = resolve_contention([a.contender for a in eligible], rng)
+                join_agents = [agents[node_id] for node_id in join_round.winners]
+                join_body_start = (
+                    sense_start
+                    + join_round.start_delay_us
+                    + max(a.header_duration_us() for a in join_agents)
+                )
+                if join_body_start + config.min_join_airtime_us > medium.current_end_us:
+                    break
+                added_any = False
+                for agent in join_agents:
+                    join_streams = agent.plan_join(join_body_start, medium)
+                    if not join_streams:
+                        exhausted.add(agent.node_id)
+                        continue
+                    medium.add_streams(join_streams)
+                    groups.extend(
+                        _groups_from_streams(
+                            agent,
+                            join_streams,
+                            collided=join_round.collision,
+                            joined=True,
+                        )
+                    )
+                    link = metrics.link(agent.name)
+                    link.joins += 1
+                    if join_round.collision:
+                        link.collisions += 1
+                    added_any = True
+                sense_start = join_body_start
+                if not added_any:
+                    # Every winner of this round was unable to join.
+                    continue
+            end_of_round = medium.current_end_us + ack_us
+
+        # Evaluate deliveries with the final set of concurrent streams.
+        all_streams = medium.active_streams
+        for group in groups:
+            delivered = _evaluate_group(network, group, all_streams, rng)
+            agent = group.agent
+            link = metrics.link(agent.name)
+            link.attempted_bits += group.payload_bits
+            link.airtime_us += sum(s.duration_us for s in group.streams) / max(
+                len(group.streams), 1
+            )
+            if delivered:
+                link.delivered_bits += group.payload_bits
+                link.packets_delivered += 1
+            else:
+                link.packets_failed += 1
+            agent.record_outcome(group.receiver_id, group.payload_bits, delivered)
+
+        medium.clear()
+        now = max(end_of_round, now + SLOT_TIME_US)
+
+    metrics.elapsed_us = now
+    return metrics
+
+
+def run_many(
+    scenario_factory: Callable[[], Scenario],
+    protocols: Sequence[str],
+    n_runs: int,
+    seed: int = 0,
+    config: Optional[SimulationConfig] = None,
+) -> Dict[str, List[NetworkMetrics]]:
+    """Run every protocol over ``n_runs`` independent channel realisations.
+
+    For each run (i.e. each random assignment of nodes to locations) all
+    protocols are simulated on the *same* network, mirroring the paper's
+    methodology of comparing schemes location by location.
+    """
+    config = config or SimulationConfig()
+    results: Dict[str, List[NetworkMetrics]] = {protocol: [] for protocol in protocols}
+    for run in range(n_runs):
+        run_seed = seed + 1000 * run
+        scenario = scenario_factory()
+        network_rng = np.random.default_rng(run_seed)
+        network = Network(
+            scenario.stations,
+            scenario.pairs,
+            network_rng,
+            n_subcarriers=config.n_subcarriers,
+        )
+        for protocol in protocols:
+            metrics = run_simulation(
+                scenario,
+                protocol,
+                seed=run_seed + 17,
+                config=config,
+                network=network,
+            )
+            results[protocol].append(metrics)
+    return results

@@ -1,0 +1,118 @@
+"""The evaluation topologies of the paper (Figs. 2, 3 and 4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.sim.node import Station, TrafficPair
+
+__all__ = [
+    "Scenario",
+    "two_pair_scenario",
+    "three_pair_scenario",
+    "heterogeneous_ap_scenario",
+    "custom_pairs_scenario",
+]
+
+
+@dataclass
+class Scenario:
+    """A set of stations and traffic pairs.
+
+    Attributes
+    ----------
+    name:
+        Scenario label used in result tables.
+    stations:
+        Every node (transmitters and receivers).
+    pairs:
+        The transmitter-receiver pairs with traffic.
+    """
+
+    name: str
+    stations: List[Station]
+    pairs: List[TrafficPair]
+
+    def station_by_name(self, name: str) -> Station:
+        """Look up a station by its label."""
+        for station in self.stations:
+            if station.name == name:
+                return station
+        raise KeyError(f"no station named {name!r}")
+
+    @property
+    def max_antennas(self) -> int:
+        """Maximum antenna count among transmitters (= network DoF, §1)."""
+        return max(pair.transmitter.n_antennas for pair in self.pairs)
+
+
+def two_pair_scenario() -> Scenario:
+    """Fig. 2: a single-antenna pair plus a 2-antenna pair."""
+    tx1 = Station(0, 1, "tx1")
+    rx1 = Station(1, 1, "rx1")
+    tx2 = Station(2, 2, "tx2")
+    rx2 = Station(3, 2, "rx2")
+    pairs = [
+        TrafficPair(tx1, [rx1]),
+        TrafficPair(tx2, [rx2]),
+    ]
+    return Scenario("two-pair", [tx1, rx1, tx2, rx2], pairs)
+
+
+def three_pair_scenario() -> Scenario:
+    """Fig. 3: 1-, 2- and 3-antenna pairs contending for the medium.
+
+    This is the topology of the main throughput comparison (Fig. 12).
+    """
+    tx1 = Station(0, 1, "tx1")
+    rx1 = Station(1, 1, "rx1")
+    tx2 = Station(2, 2, "tx2")
+    rx2 = Station(3, 2, "rx2")
+    tx3 = Station(4, 3, "tx3")
+    rx3 = Station(5, 3, "rx3")
+    pairs = [
+        TrafficPair(tx1, [rx1]),
+        TrafficPair(tx2, [rx2]),
+        TrafficPair(tx3, [rx3]),
+    ]
+    return Scenario("three-pair", [tx1, rx1, tx2, rx2, tx3, rx3], pairs)
+
+
+def heterogeneous_ap_scenario() -> Scenario:
+    """Fig. 4: transmitters and receivers with different antenna counts.
+
+    A single-antenna client c1 transmits uplink to a 2-antenna AP1, while
+    a 3-antenna AP2 has downlink traffic for two 2-antenna clients c2 and
+    c3.  This is the topology of Fig. 13.
+    """
+    c1 = Station(0, 1, "c1")
+    ap1 = Station(1, 2, "AP1")
+    ap2 = Station(2, 3, "AP2")
+    c2 = Station(3, 2, "c2")
+    c3 = Station(4, 2, "c3")
+    pairs = [
+        TrafficPair(c1, [ap1]),
+        TrafficPair(ap2, [c2, c3], streams_per_receiver=[1, 1]),
+    ]
+    return Scenario("heterogeneous-ap", [c1, ap1, ap2, c2, c3], pairs)
+
+
+def custom_pairs_scenario(antenna_counts: List[int], name: str = "custom") -> Scenario:
+    """Build a scenario of independent pairs with given antenna counts.
+
+    ``antenna_counts=[1, 2, 3]`` reproduces :func:`three_pair_scenario`;
+    other lists let the benchmarks sweep the network's heterogeneity.
+    """
+    stations: List[Station] = []
+    pairs: List[TrafficPair] = []
+    node_id = 0
+    for index, antennas in enumerate(antenna_counts, start=1):
+        tx = Station(node_id, antennas, f"tx{index}")
+        rx = Station(node_id + 1, antennas, f"rx{index}")
+        node_id += 2
+        stations.extend([tx, rx])
+        pairs.append(TrafficPair(tx, [rx]))
+    return Scenario(name, stations, pairs)

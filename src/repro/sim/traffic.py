@@ -1,0 +1,104 @@
+"""Traffic sources.
+
+The paper's evaluation uses saturated (always-backlogged) sources sending
+1500-byte packets; the Poisson source is provided for the bursty-traffic
+examples and for fairness experiments under partial load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.constants import DEFAULT_PACKET_SIZE_BYTES
+from repro.mac.frames import Packet
+
+__all__ = ["SaturatedSource", "PoissonSource"]
+
+
+@dataclass
+class SaturatedSource:
+    """A source that always has another packet ready.
+
+    Attributes
+    ----------
+    source_id, destination_id:
+        Endpoints of the flow.
+    packet_size_bytes:
+        Size of every generated packet.
+    """
+
+    source_id: int
+    destination_id: int
+    packet_size_bytes: int = DEFAULT_PACKET_SIZE_BYTES
+    _next_packet_id: int = field(default=0, repr=False)
+
+    def has_packet(self, now_us: float) -> bool:
+        """Saturated sources always have traffic."""
+        return True
+
+    def next_packet(self, now_us: float) -> Packet:
+        """Generate the next packet."""
+        packet = Packet(
+            source=self.source_id,
+            destination=self.destination_id,
+            size_bytes=self.packet_size_bytes,
+            packet_id=self._next_packet_id,
+            created_us=now_us,
+        )
+        self._next_packet_id += 1
+        return packet
+
+
+@dataclass
+class PoissonSource:
+    """A Poisson packet-arrival process.
+
+    Attributes
+    ----------
+    source_id, destination_id:
+        Endpoints of the flow.
+    rate_packets_per_second:
+        Mean arrival rate.
+    packet_size_bytes:
+        Size of every generated packet.
+    rng:
+        Random generator for the arrival process.
+    """
+
+    source_id: int
+    destination_id: int
+    rate_packets_per_second: float
+    rng: np.random.Generator
+    packet_size_bytes: int = DEFAULT_PACKET_SIZE_BYTES
+    _next_arrival_us: Optional[float] = field(default=None, repr=False)
+    _next_packet_id: int = field(default=0, repr=False)
+
+    def _ensure_arrival(self, now_us: float) -> None:
+        if self._next_arrival_us is None:
+            self._next_arrival_us = now_us + self._draw_gap()
+
+    def _draw_gap(self) -> float:
+        mean_gap_us = 1e6 / self.rate_packets_per_second
+        return float(self.rng.exponential(mean_gap_us))
+
+    def has_packet(self, now_us: float) -> bool:
+        """Whether a packet has arrived by ``now_us``."""
+        self._ensure_arrival(now_us)
+        return now_us >= self._next_arrival_us
+
+    def next_packet(self, now_us: float) -> Packet:
+        """Pop the arrived packet and schedule the next arrival."""
+        self._ensure_arrival(now_us)
+        packet = Packet(
+            source=self.source_id,
+            destination=self.destination_id,
+            size_bytes=self.packet_size_bytes,
+            packet_id=self._next_packet_id,
+            created_us=self._next_arrival_us,
+        )
+        self._next_packet_id += 1
+        self._next_arrival_us = max(now_us, self._next_arrival_us) + self._draw_gap()
+        return packet

@@ -1,0 +1,218 @@
+"""Linear-algebra primitives for subspace manipulation.
+
+Interference nulling, interference alignment and multi-dimensional carrier
+sense all reduce to a handful of subspace operations on complex matrices:
+computing null spaces (Claim 3.3 / 3.5 of the paper), orthonormal
+complements (the "unwanted space" U and its complement U-perp, and the
+projection plane used by carrier sense in Fig. 6), and projections of
+received samples onto those subspaces.
+
+All functions operate on complex ``numpy`` arrays.  Subspaces are always
+represented by matrices whose *columns* form an orthonormal basis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DimensionError
+
+__all__ = [
+    "null_space",
+    "orthonormal_basis",
+    "orthonormal_complement",
+    "project_onto_subspace",
+    "project_out_subspace",
+    "projection_matrix",
+    "random_unitary",
+    "subspace_angle",
+    "is_in_subspace",
+]
+
+#: Default relative tolerance used to decide which singular values are zero.
+DEFAULT_RCOND = 1e-10
+
+
+def _as_complex_matrix(a: np.ndarray, name: str = "matrix") -> np.ndarray:
+    """Return ``a`` as a 2-D complex array, raising :class:`DimensionError`
+    if it cannot be interpreted as a matrix."""
+    arr = np.asarray(a, dtype=complex)
+    if arr.ndim == 1:
+        arr = arr.reshape(-1, 1)
+    if arr.ndim != 2:
+        raise DimensionError(f"{name} must be 1-D or 2-D, got shape {arr.shape}")
+    return arr
+
+
+def null_space(matrix: np.ndarray, rcond: float = DEFAULT_RCOND) -> np.ndarray:
+    """Return an orthonormal basis of the (right) null space of ``matrix``.
+
+    The null space of the stacked nulling/alignment constraint matrix is
+    exactly the set of admissible pre-coding vectors (Claims 3.3-3.5).
+
+    Parameters
+    ----------
+    matrix:
+        A ``(rows, cols)`` complex matrix ``A``.
+    rcond:
+        Singular values below ``rcond * max(singular values)`` are treated
+        as zero.
+
+    Returns
+    -------
+    numpy.ndarray
+        A ``(cols, k)`` matrix whose columns are orthonormal and satisfy
+        ``A @ v ~= 0``.  ``k`` may be zero, in which case the returned
+        array has shape ``(cols, 0)``.
+    """
+    a = _as_complex_matrix(matrix)
+    if a.shape[0] == 0:
+        # No constraints: the whole space is the null space.
+        return np.eye(a.shape[1], dtype=complex)
+    _, s, vh = np.linalg.svd(a, full_matrices=True)
+    tol = rcond * (s[0] if s.size else 0.0)
+    rank = int(np.sum(s > tol))
+    return vh[rank:].conj().T
+
+
+def orthonormal_basis(matrix: np.ndarray, rcond: float = DEFAULT_RCOND) -> np.ndarray:
+    """Return an orthonormal basis for the column space of ``matrix``.
+
+    Used to turn a set of (possibly linearly dependent) channel vectors of
+    ongoing transmissions into a clean basis of the occupied signal
+    subspace (Fig. 6).
+    """
+    a = _as_complex_matrix(matrix)
+    if a.shape[1] == 0:
+        return np.zeros((a.shape[0], 0), dtype=complex)
+    u, s, _ = np.linalg.svd(a, full_matrices=False)
+    tol = rcond * (s[0] if s.size else 0.0)
+    rank = int(np.sum(s > tol))
+    return u[:, :rank]
+
+
+def orthonormal_complement(matrix: np.ndarray, rcond: float = DEFAULT_RCOND) -> np.ndarray:
+    """Return an orthonormal basis of the orthogonal complement of the
+    column space of ``matrix``.
+
+    This is the subspace a multi-antenna node projects onto in order to
+    carrier sense "as if the medium were idle" (§3.2), and the U-perp
+    matrix of Claim 3.4 when ``matrix`` spans the unwanted space U.
+
+    The returned basis has ``n - rank(matrix)`` columns where ``n`` is the
+    number of rows of ``matrix``.
+    """
+    a = _as_complex_matrix(matrix)
+    n = a.shape[0]
+    if a.shape[1] == 0:
+        return np.eye(n, dtype=complex)
+    u, s, _ = np.linalg.svd(a, full_matrices=True)
+    tol = rcond * (s[0] if s.size else 0.0)
+    rank = int(np.sum(s > tol))
+    return u[:, rank:]
+
+
+def projection_matrix(basis: np.ndarray) -> np.ndarray:
+    """Return the orthogonal-projection matrix onto the span of ``basis``.
+
+    ``basis`` need not be orthonormal; the projector is computed as
+    ``B (B^H B)^-1 B^H`` via the pseudo-inverse.
+    """
+    b = _as_complex_matrix(basis, "basis")
+    if b.shape[1] == 0:
+        return np.zeros((b.shape[0], b.shape[0]), dtype=complex)
+    return b @ np.linalg.pinv(b)
+
+
+def project_onto_subspace(vectors: np.ndarray, basis: np.ndarray) -> np.ndarray:
+    """Project ``vectors`` onto the subspace spanned by the columns of
+    ``basis`` and return the *coordinates* in that basis.
+
+    Parameters
+    ----------
+    vectors:
+        Shape ``(n,)`` or ``(n, t)``: one column per time sample.
+    basis:
+        Shape ``(n, k)`` with orthonormal columns.
+
+    Returns
+    -------
+    numpy.ndarray
+        Shape ``(k,)`` or ``(k, t)``: the coefficients ``basis^H @ vectors``.
+    """
+    b = _as_complex_matrix(basis, "basis")
+    v = np.asarray(vectors, dtype=complex)
+    squeeze = v.ndim == 1
+    if squeeze:
+        v = v.reshape(-1, 1)
+    if v.shape[0] != b.shape[0]:
+        raise DimensionError(
+            f"vectors have dimension {v.shape[0]} but basis lives in dimension {b.shape[0]}"
+        )
+    coords = b.conj().T @ v
+    return coords[:, 0] if squeeze else coords
+
+
+def project_out_subspace(vectors: np.ndarray, basis: np.ndarray) -> np.ndarray:
+    """Remove from ``vectors`` every component lying in the span of
+    ``basis`` and return the residual expressed in the original coordinates.
+
+    This is the operation a receiver applies to cancel ongoing
+    transmissions before decoding or carrier sensing.
+    """
+    b = _as_complex_matrix(basis, "basis")
+    v = np.asarray(vectors, dtype=complex)
+    squeeze = v.ndim == 1
+    if squeeze:
+        v = v.reshape(-1, 1)
+    if v.shape[0] != b.shape[0]:
+        raise DimensionError(
+            f"vectors have dimension {v.shape[0]} but basis lives in dimension {b.shape[0]}"
+        )
+    if b.shape[1] == 0:
+        residual = v
+    else:
+        ortho = orthonormal_basis(b)
+        residual = v - ortho @ (ortho.conj().T @ v)
+    return residual[:, 0] if squeeze else residual
+
+
+def random_unitary(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Return a Haar-distributed ``n x n`` unitary matrix.
+
+    Useful for generating random orthogonal signalling directions in tests
+    and synthetic channels.
+    """
+    z = rng.standard_normal((n, n)) + 1j * rng.standard_normal((n, n))
+    q, r = np.linalg.qr(z)
+    # Normalise the phases so the distribution is Haar.
+    d = np.diagonal(r)
+    return q * (d / np.abs(d))
+
+
+def subspace_angle(a: np.ndarray, b: np.ndarray) -> float:
+    """Return the principal angle (radians) between the subspaces spanned by
+    the columns of ``a`` and ``b``.
+
+    The angle between a wanted stream and the interference directions
+    determines the post-projection SNR (Fig. 7) and therefore the best
+    bitrate (§3.4).
+    """
+    qa = orthonormal_basis(_as_complex_matrix(a))
+    qb = orthonormal_basis(_as_complex_matrix(b))
+    if qa.shape[1] == 0 or qb.shape[1] == 0:
+        return float(np.pi / 2)
+    sigma = np.linalg.svd(qa.conj().T @ qb, compute_uv=False)
+    cos_theta = float(np.clip(sigma.max(), -1.0, 1.0))
+    return float(np.arccos(cos_theta))
+
+
+def is_in_subspace(vector: np.ndarray, basis: np.ndarray, tol: float = 1e-8) -> bool:
+    """Return ``True`` if ``vector`` lies (numerically) inside the span of
+    the columns of ``basis``."""
+    v = np.asarray(vector, dtype=complex).reshape(-1)
+    norm = np.linalg.norm(v)
+    if norm == 0:
+        return True
+    residual = project_out_subspace(v, basis)
+    return float(np.linalg.norm(residual)) <= tol * max(1.0, norm)

@@ -1,0 +1,74 @@
+"""Argument-validation helpers shared across the library."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DimensionError
+
+__all__ = [
+    "require_positive_int",
+    "require_positive",
+    "require_in_range",
+    "require_matrix_shape",
+    "require_antenna_count",
+    "as_channel_matrix",
+]
+
+
+def require_positive_int(value, name: str) -> int:
+    """Return ``value`` as an ``int``; raise if it is not a positive integer."""
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be an integer, got {value!r}")
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be positive, got {value}")
+    return int(value)
+
+
+def require_positive(value, name: str) -> float:
+    """Return ``value`` as a float; raise if it is not strictly positive."""
+    value = float(value)
+    if not value > 0:
+        raise ConfigurationError(f"{name} must be positive, got {value}")
+    return value
+
+
+def require_in_range(value, low, high, name: str) -> float:
+    """Return ``value`` as a float; raise unless ``low <= value <= high``."""
+    value = float(value)
+    if not (low <= value <= high):
+        raise ConfigurationError(f"{name} must be in [{low}, {high}], got {value}")
+    return value
+
+
+def require_matrix_shape(matrix: np.ndarray, shape: Sequence[int], name: str) -> np.ndarray:
+    """Return ``matrix`` as a complex array, checking its shape exactly."""
+    arr = np.asarray(matrix, dtype=complex)
+    if arr.shape != tuple(shape):
+        raise DimensionError(f"{name} must have shape {tuple(shape)}, got {arr.shape}")
+    return arr
+
+
+def require_antenna_count(value, name: str, maximum: int = 8) -> int:
+    """Validate an antenna count (1..maximum)."""
+    count = require_positive_int(value, name)
+    if count > maximum:
+        raise ConfigurationError(f"{name} must be <= {maximum}, got {count}")
+    return count
+
+
+def as_channel_matrix(matrix: np.ndarray, n_rx: int, n_tx: int, name: str = "H") -> np.ndarray:
+    """Return ``matrix`` as an ``(n_rx, n_tx)`` complex channel matrix."""
+    arr = np.asarray(matrix, dtype=complex)
+    if arr.ndim == 0:
+        arr = arr.reshape(1, 1)
+    elif arr.ndim == 1:
+        if n_rx == 1:
+            arr = arr.reshape(1, -1)
+        elif n_tx == 1:
+            arr = arr.reshape(-1, 1)
+    if arr.shape != (n_rx, n_tx):
+        raise DimensionError(f"{name} must have shape ({n_rx}, {n_tx}), got {arr.shape}")
+    return arr

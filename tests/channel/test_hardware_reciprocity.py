@@ -1,0 +1,96 @@
+"""Tests for hardware impairments and reciprocity modelling."""
+
+import numpy as np
+import pytest
+
+from repro.channel.hardware import HardwareProfile
+from repro.channel.reciprocity import calibrated_reverse_channel, reverse_channel
+from repro.utils.db import linear_to_db
+
+
+class TestHardwareProfile:
+    def test_noise_floor_conversion(self):
+        profile = HardwareProfile(noise_floor_dbm=-90.0)
+        assert linear_to_db(profile.noise_floor_mw) == pytest.approx(-90.0)
+
+    def test_residual_interference_suppression_amount(self):
+        profile = HardwareProfile(nulling_suppression_db=27.0, alignment_suppression_db=25.0)
+        interference = 100.0
+        nulled = profile.residual_interference_power(interference, aligned=False)
+        aligned = profile.residual_interference_power(interference, aligned=True)
+        assert linear_to_db(interference / nulled) == pytest.approx(27.0, abs=1e-9)
+        assert linear_to_db(interference / aligned) == pytest.approx(25.0, abs=1e-9)
+
+    def test_alignment_leaves_more_residual_than_nulling(self):
+        profile = HardwareProfile()
+        interference = 50.0
+        assert profile.residual_interference_power(
+            interference, aligned=True
+        ) > profile.residual_interference_power(interference, aligned=False)
+
+    def test_randomised_suppression_has_spread(self, rng):
+        profile = HardwareProfile()
+        values = [
+            profile.residual_interference_power(10.0, aligned=False, rng=rng) for _ in range(200)
+        ]
+        assert np.std(linear_to_db(values)) > 0.5
+
+    def test_perturb_channel_error_level(self, rng):
+        profile = HardwareProfile(channel_estimation_error_db=-30.0)
+        channel = rng.standard_normal((4, 4)) + 1j * rng.standard_normal((4, 4))
+        errors = []
+        for _ in range(300):
+            estimate = profile.perturb_channel(channel, rng)
+            errors.append(np.mean(np.abs(estimate - channel) ** 2))
+        error_db = linear_to_db(np.mean(errors) / np.mean(np.abs(channel) ** 2))
+        assert error_db == pytest.approx(-30.0, abs=1.5)
+
+    def test_reciprocity_estimates_are_noisier(self, rng):
+        profile = HardwareProfile()
+        channel = rng.standard_normal((3, 3)) + 1j * rng.standard_normal((3, 3))
+        direct = np.mean(
+            [
+                np.mean(np.abs(profile.perturb_channel(channel, rng) - channel) ** 2)
+                for _ in range(300)
+            ]
+        )
+        reciprocal = np.mean(
+            [
+                np.mean(
+                    np.abs(profile.perturb_channel(channel, rng, reciprocity=True) - channel) ** 2
+                )
+                for _ in range(300)
+            ]
+        )
+        assert reciprocal > direct
+
+    def test_cfo_draw_is_bounded(self, rng):
+        profile = HardwareProfile(max_cfo_hz=1000.0)
+        draws = [profile.draw_cfo(rng) for _ in range(100)]
+        assert all(-1000.0 <= value <= 1000.0 for value in draws)
+
+    def test_estimation_error_variance_scales_with_channel_power(self):
+        profile = HardwareProfile(channel_estimation_error_db=-20.0)
+        assert profile.estimation_error_variance(10.0) == pytest.approx(0.1)
+
+
+class TestReciprocity:
+    def test_ideal_reverse_is_transpose(self, rng):
+        forward = rng.standard_normal((2, 3)) + 1j * rng.standard_normal((2, 3))
+        reverse = reverse_channel(forward)
+        assert reverse.shape == (3, 2)
+        assert np.allclose(reverse, forward.T)
+
+    def test_calibrated_reverse_is_close_to_transpose(self, rng):
+        profile = HardwareProfile()
+        forward = rng.standard_normal((2, 2)) + 1j * rng.standard_normal((2, 2))
+        estimate = calibrated_reverse_channel(forward, profile, rng)
+        relative_error = np.linalg.norm(estimate - forward.T) / np.linalg.norm(forward)
+        assert relative_error < 0.2
+
+    def test_calibration_quality_parameter(self, rng):
+        forward = rng.standard_normal((2, 2)) + 1j * rng.standard_normal((2, 2))
+        profile = HardwareProfile()
+        coarse = calibrated_reverse_channel(forward, profile, rng, calibration_quality_db=-10.0)
+        fine = calibrated_reverse_channel(forward, profile, rng, calibration_quality_db=-40.0)
+        assert np.linalg.norm(fine - forward.T) < np.linalg.norm(coarse - forward.T)

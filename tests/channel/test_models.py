@@ -1,0 +1,81 @@
+"""Tests for elementary channel models."""
+
+import numpy as np
+import pytest
+
+from repro.channel.models import (
+    apply_flat_channel,
+    awgn,
+    complex_gaussian,
+    rayleigh_mimo_channel,
+    rician_mimo_channel,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestComplexGaussian:
+    def test_variance_matches_request(self, rng):
+        samples = complex_gaussian(100_000, rng, variance=4.0)
+        assert np.mean(np.abs(samples) ** 2) == pytest.approx(4.0, rel=0.05)
+
+    def test_zero_variance(self, rng):
+        assert np.allclose(complex_gaussian(10, rng, 0.0), 0)
+
+    def test_negative_variance_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            complex_gaussian(10, rng, -1.0)
+
+    def test_circular_symmetry(self, rng):
+        samples = complex_gaussian(100_000, rng)
+        assert abs(np.mean(samples.real)) < 0.02
+        assert abs(np.mean(samples.imag)) < 0.02
+        assert np.var(samples.real) == pytest.approx(np.var(samples.imag), rel=0.05)
+
+
+class TestAwgn:
+    def test_noise_power(self, rng):
+        clean = np.zeros(50_000, dtype=complex)
+        noisy = awgn(clean, 0.5, rng)
+        assert np.mean(np.abs(noisy) ** 2) == pytest.approx(0.5, rel=0.05)
+
+    def test_signal_preserved_in_mean(self, rng):
+        clean = np.ones(50_000, dtype=complex)
+        noisy = awgn(clean, 0.1, rng)
+        assert np.mean(noisy).real == pytest.approx(1.0, abs=0.02)
+
+
+class TestFadingChannels:
+    def test_rayleigh_unit_average_power(self, rng):
+        gains = [np.abs(rayleigh_mimo_channel(2, 2, rng)) ** 2 for _ in range(2000)]
+        assert np.mean(gains) == pytest.approx(1.0, rel=0.1)
+
+    def test_rician_k_factor_concentrates_power(self, rng):
+        rayleigh_spread = np.var(
+            [np.abs(rayleigh_mimo_channel(1, 1, rng)[0, 0]) for _ in range(3000)]
+        )
+        rician_spread = np.var(
+            [np.abs(rician_mimo_channel(1, 1, rng, k_factor_db=10.0)[0, 0]) for _ in range(3000)]
+        )
+        assert rician_spread < rayleigh_spread
+
+    def test_shapes(self, rng):
+        assert rayleigh_mimo_channel(3, 2, rng).shape == (3, 2)
+        assert rician_mimo_channel(2, 4, rng).shape == (2, 4)
+
+
+class TestApplyFlatChannel:
+    def test_matrix_multiplication_semantics(self, rng):
+        channel = np.array([[1.0, 2.0], [0.5, -1.0]], dtype=complex)
+        samples = rng.standard_normal((2, 10)) + 1j * rng.standard_normal((2, 10))
+        received = apply_flat_channel(samples, channel)
+        assert np.allclose(received, channel @ samples)
+
+    def test_single_antenna_vector_input(self, rng):
+        channel = np.array([[0.5 + 0.5j]])
+        samples = rng.standard_normal(20) + 1j * rng.standard_normal(20)
+        received = apply_flat_channel(samples, channel)
+        assert np.allclose(received[0], 0.5 * (1 + 1j) * samples)
+
+    def test_mismatched_antennas_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            apply_flat_channel(np.zeros((3, 5)), np.zeros((2, 2)))

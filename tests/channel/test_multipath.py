@@ -1,0 +1,104 @@
+"""Tests for the tapped-delay-line multipath channel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channel.multipath import MultipathChannel, exponential_power_delay_profile
+from repro.exceptions import ConfigurationError, DimensionError
+
+
+class TestPowerDelayProfile:
+    def test_normalised(self):
+        for n_taps in (1, 3, 8):
+            assert exponential_power_delay_profile(n_taps).sum() == pytest.approx(1.0)
+
+    def test_monotonically_decaying(self):
+        profile = exponential_power_delay_profile(6, decay_samples=2.0)
+        assert all(a > b for a, b in zip(profile, profile[1:]))
+
+    def test_zero_taps_rejected(self):
+        with pytest.raises(ConfigurationError):
+            exponential_power_delay_profile(0)
+
+
+class TestMultipathChannel:
+    def test_random_channel_shapes(self, rng):
+        channel = MultipathChannel.random(3, 2, rng, n_taps=4)
+        assert channel.n_taps == 4
+        assert channel.n_rx == 3
+        assert channel.n_tx == 2
+
+    def test_taps_cannot_exceed_cyclic_prefix(self, rng):
+        with pytest.raises(ConfigurationError):
+            MultipathChannel.random(1, 1, rng, n_taps=17)
+
+    def test_average_gain_controls_power(self, rng):
+        gains = []
+        for seed in range(300):
+            channel = MultipathChannel.random(2, 2, np.random.default_rng(seed), average_gain=10.0)
+            gains.append(np.sum(np.abs(channel.taps) ** 2, axis=0).mean())
+        assert np.mean(gains) == pytest.approx(10.0, rel=0.15)
+
+    def test_flat_constructor(self):
+        matrix = np.array([[1.0, 2.0]])
+        channel = MultipathChannel.flat(matrix)
+        assert channel.n_taps == 1
+        assert np.allclose(channel.average_matrix(), matrix)
+
+    def test_flat_requires_matrix(self):
+        with pytest.raises(DimensionError):
+            MultipathChannel.flat(np.zeros(3))
+
+    def test_frequency_response_shape(self, rng):
+        channel = MultipathChannel.random(2, 3, rng, n_taps=3)
+        response = channel.frequency_response(64)
+        assert response.shape == (64, 2, 3)
+
+    def test_single_tap_channel_has_flat_response(self, rng):
+        matrix = rng.standard_normal((2, 2)) + 1j * rng.standard_normal((2, 2))
+        response = MultipathChannel.flat(matrix).frequency_response(16)
+        for k in range(16):
+            assert np.allclose(response[k], matrix)
+
+    def test_apply_is_convolution(self, rng):
+        channel = MultipathChannel.random(1, 1, rng, n_taps=3)
+        impulse = np.zeros((1, 10), dtype=complex)
+        impulse[0, 0] = 1.0
+        out = channel.apply(impulse)
+        assert np.allclose(out[0, :3], channel.taps[:, 0, 0])
+        assert np.allclose(out[0, 3:], 0)
+
+    def test_apply_preserves_length(self, rng):
+        channel = MultipathChannel.random(2, 2, rng, n_taps=4)
+        samples = rng.standard_normal((2, 500)) + 1j * rng.standard_normal((2, 500))
+        assert channel.apply(samples).shape == (2, 500)
+
+    def test_apply_rejects_wrong_antenna_count(self, rng):
+        channel = MultipathChannel.random(2, 2, rng)
+        with pytest.raises(DimensionError):
+            channel.apply(np.zeros((3, 10)))
+
+    def test_scaled_changes_power(self, rng):
+        channel = MultipathChannel.random(1, 1, rng)
+        scaled = channel.scaled(4.0)
+        assert np.allclose(np.abs(scaled.taps) ** 2, 4.0 * np.abs(channel.taps) ** 2)
+
+    def test_parseval_consistency(self, rng):
+        """Average frequency-domain power equals total tap power."""
+        channel = MultipathChannel.random(1, 1, rng, n_taps=5)
+        response = channel.frequency_response(64)[:, 0, 0]
+        tap_power = np.sum(np.abs(channel.taps[:, 0, 0]) ** 2)
+        assert np.mean(np.abs(response) ** 2) == pytest.approx(tap_power, rel=1e-6)
+
+    @given(n_rx=st.integers(1, 3), n_tx=st.integers(1, 3), seed=st.integers(0, 200))
+    @settings(max_examples=30, deadline=None)
+    def test_frequency_response_matches_fft_of_taps(self, n_rx, n_tx, seed):
+        rng = np.random.default_rng(seed)
+        channel = MultipathChannel.random(n_rx, n_tx, rng, n_taps=4)
+        response = channel.frequency_response(64)
+        manual = np.fft.fft(
+            np.concatenate([channel.taps, np.zeros((60, n_rx, n_tx))], axis=0), axis=0
+        )
+        assert np.allclose(response, manual, atol=1e-10)

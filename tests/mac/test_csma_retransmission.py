@@ -1,0 +1,132 @@
+"""Tests for DCF contention and the retransmission queue."""
+
+import numpy as np
+import pytest
+
+from repro.constants import CW_MAX, CW_MIN, DIFS_US, SLOT_TIME_US
+from repro.mac.csma import ContentionRound, DcfContender, resolve_contention
+from repro.mac.frames import Packet
+from repro.mac.retransmission import RetransmissionQueue
+
+
+class TestDcfContender:
+    def test_backoff_within_window(self, rng):
+        contender = DcfContender(node_id=1)
+        draws = [contender.draw_backoff(rng) for _ in range(200)]
+        assert min(draws) >= 0
+        assert max(draws) <= CW_MIN
+
+    def test_collision_doubles_window(self):
+        contender = DcfContender(node_id=1)
+        contender.record_collision()
+        assert contender.contention_window == 2 * (CW_MIN + 1) - 1
+        contender.record_collision()
+        assert contender.contention_window == 4 * (CW_MIN + 1) - 1
+
+    def test_window_caps_at_cw_max(self):
+        contender = DcfContender(node_id=1)
+        for _ in range(20):
+            contender.record_collision()
+        assert contender.contention_window == CW_MAX
+
+    def test_success_resets_window(self):
+        contender = DcfContender(node_id=1)
+        contender.record_collision()
+        contender.record_success()
+        assert contender.contention_window == CW_MIN
+
+
+class TestResolveContention:
+    def test_single_contender_always_wins(self, rng):
+        outcome = resolve_contention([DcfContender(7)], rng)
+        assert outcome.winners == (7,)
+        assert not outcome.collision
+        assert outcome.start_delay_us >= DIFS_US
+
+    def test_empty_contender_list(self, rng):
+        outcome = resolve_contention([], rng)
+        assert outcome.winners == ()
+        assert not outcome.collision
+
+    def test_winner_has_smallest_backoff(self, rng):
+        contenders = [DcfContender(i) for i in range(3)]
+        outcome = resolve_contention(contenders, rng)
+        assert len(outcome.winners) >= 1
+        assert outcome.start_delay_us == DIFS_US + outcome.backoff_slots * SLOT_TIME_US
+
+    def test_collisions_occur_at_realistic_rate(self, rng):
+        """With 3 saturated nodes and CW=15, collisions happen but are not
+        the common case."""
+        collisions = 0
+        rounds = 2000
+        for _ in range(rounds):
+            outcome = resolve_contention([DcfContender(i) for i in range(3)], rng)
+            collisions += outcome.collision
+        rate = collisions / rounds
+        assert 0.03 < rate < 0.30
+
+    def test_every_node_wins_roughly_equally(self, rng):
+        wins = {0: 0, 1: 0, 2: 0}
+        for _ in range(3000):
+            outcome = resolve_contention([DcfContender(i) for i in range(3)], rng)
+            if not outcome.collision:
+                wins[outcome.winners[0]] += 1
+        values = list(wins.values())
+        assert max(values) - min(values) < 0.2 * sum(values)
+
+
+class TestRetransmissionQueue:
+    def test_enqueue_and_backlog(self):
+        queue = RetransmissionQueue()
+        queue.enqueue(Packet(0, 1, size_bytes=1500))
+        assert queue.has_traffic
+        assert queue.backlog_bits == 12000
+        assert len(queue) == 1
+
+    def test_acknowledge_whole_packet(self):
+        queue = RetransmissionQueue()
+        queue.enqueue(Packet(0, 1, size_bytes=1500))
+        completed = queue.acknowledge(12000)
+        assert completed == 1
+        assert not queue.has_traffic
+        assert queue.delivered_bits == 12000
+
+    def test_partial_acknowledgement_keeps_packet(self):
+        queue = RetransmissionQueue()
+        queue.enqueue(Packet(0, 1, size_bytes=1500))
+        completed = queue.acknowledge(5000)
+        assert completed == 0
+        assert queue.backlog_bits == 7000
+        assert queue.has_traffic
+
+    def test_acknowledge_spans_packets(self):
+        queue = RetransmissionQueue()
+        queue.enqueue(Packet(0, 1, size_bytes=1500, packet_id=0))
+        queue.enqueue(Packet(0, 1, size_bytes=1500, packet_id=1))
+        completed = queue.acknowledge(18000)
+        assert completed == 1
+        assert queue.backlog_bits == 6000
+
+    def test_take_bits_is_limited_by_backlog(self):
+        queue = RetransmissionQueue()
+        queue.enqueue(Packet(0, 1, size_bytes=100))
+        assert queue.take_bits(10_000) == 800
+
+    def test_fail_increments_retries_and_drops_eventually(self):
+        queue = RetransmissionQueue(max_retries=2)
+        queue.enqueue(Packet(0, 1))
+        queue.fail()
+        queue.fail()
+        assert queue.has_traffic
+        queue.fail()
+        assert not queue.has_traffic
+        assert queue.dropped_packets == 1
+
+    def test_fail_on_empty_queue_is_noop(self):
+        RetransmissionQueue().fail()
+
+    def test_head_returns_oldest_packet(self):
+        queue = RetransmissionQueue()
+        queue.enqueue(Packet(0, 1, packet_id=10))
+        queue.enqueue(Packet(0, 1, packet_id=11))
+        assert queue.head().packet_id == 10

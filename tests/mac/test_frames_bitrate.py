@@ -1,0 +1,79 @@
+"""Tests for MAC frames and bitrate selection."""
+
+import numpy as np
+import pytest
+
+from repro.mac.bitrate import HistoricalRateController, choose_bitrate
+from repro.mac.frames import AckHeader, DataHeader, Packet
+from repro.phy.rates import MCS_TABLE
+
+
+class TestPacket:
+    def test_size_in_bits(self):
+        assert Packet(source=0, destination=1, size_bytes=1500).size_bits == 12000
+
+    def test_defaults(self):
+        packet = Packet(source=3, destination=4)
+        assert packet.size_bytes == 1500
+        assert packet.retries == 0
+
+
+class TestHeaders:
+    def test_data_header_stream_count(self):
+        header = DataHeader(
+            transmitter_id=2,
+            receiver_ids=[3, 4],
+            streams_per_receiver=[2, 1],
+            n_antennas=3,
+            duration_us=500.0,
+        )
+        assert header.n_streams == 3
+
+    def test_ack_header_unwanted_space_flag(self):
+        with_space = AckHeader(
+            receiver_id=1, transmitter_id=2, mcs_index=3, n_wanted_streams=1, n_antennas=2
+        )
+        without_space = AckHeader(
+            receiver_id=1, transmitter_id=2, mcs_index=3, n_wanted_streams=2, n_antennas=2
+        )
+        assert with_space.has_unwanted_space
+        assert not without_space.has_unwanted_space
+
+
+class TestChooseBitrate:
+    def test_extreme_snrs(self):
+        assert choose_bitrate([40.0] * 16).index == len(MCS_TABLE) - 1
+        assert choose_bitrate([-5.0] * 16).index == 0
+
+    def test_margin_lowers_selection(self):
+        snrs = [13.0] * 16
+        assert choose_bitrate(snrs, margin_db=4.0).index <= choose_bitrate(snrs).index
+
+
+class TestHistoricalRateController:
+    def test_starts_optimistic(self):
+        controller = HistoricalRateController()
+        assert controller.select().index == len(MCS_TABLE) - 1
+
+    def test_failures_move_selection_down(self, rng):
+        controller = HistoricalRateController()
+        top = MCS_TABLE[-1]
+        for _ in range(20):
+            controller.record(top, delivered=False)
+        assert controller.select().index < top.index
+
+    def test_successes_restore_confidence(self):
+        controller = HistoricalRateController()
+        top = MCS_TABLE[-1]
+        for _ in range(10):
+            controller.record(top, delivered=False)
+        for _ in range(40):
+            controller.record(top, delivered=True)
+        assert controller.select().index == top.index
+
+    def test_delivery_estimate_bounded(self):
+        controller = HistoricalRateController()
+        mcs = MCS_TABLE[2]
+        for _ in range(50):
+            controller.record(mcs, delivered=True)
+        assert 0.0 <= controller.delivery_estimate(mcs) <= 1.0

@@ -1,0 +1,79 @@
+"""Tests for the medium-state bookkeeping dataclasses."""
+
+import pytest
+
+from repro.exceptions import MediumAccessError
+from repro.mimo.streams import ActiveStream, MediumState, OngoingTransmission
+
+
+def _transmission(tx_id, stream_ids, receiver_id, start=0.0, end=1000.0):
+    streams = [
+        ActiveStream(stream_id=s, transmitter_id=tx_id, receiver_id=receiver_id, mcs_index=0)
+        for s in stream_ids
+    ]
+    return OngoingTransmission(
+        transmitter_id=tx_id, streams=streams, start_us=start, end_us=end
+    )
+
+
+class TestOngoingTransmission:
+    def test_counts_streams_and_receivers(self):
+        transmission = _transmission(1, [0, 1], receiver_id=2)
+        assert transmission.n_streams == 2
+        assert transmission.receiver_ids == [2]
+
+    def test_multiple_receivers_deduplicated_in_order(self):
+        streams = [
+            ActiveStream(0, 1, 5, 0),
+            ActiveStream(1, 1, 6, 0),
+            ActiveStream(2, 1, 5, 0),
+        ]
+        transmission = OngoingTransmission(1, streams, 0.0, 10.0)
+        assert transmission.receiver_ids == [5, 6]
+
+
+class TestMediumState:
+    def test_used_dof_counts_streams(self):
+        state = MediumState()
+        state.add(_transmission(1, [0], 2))
+        state.add(_transmission(3, [1, 2], 4))
+        assert state.n_used_dof == 3
+        assert state.busy
+
+    def test_protected_receivers(self):
+        state = MediumState()
+        state.add(_transmission(1, [0], 2))
+        state.add(_transmission(3, [1], 4))
+        assert state.protected_receivers() == [2, 4]
+
+    def test_streams_for_receiver(self):
+        state = MediumState()
+        state.add(_transmission(1, [0, 1], 2))
+        assert len(state.streams_for_receiver(2)) == 2
+        assert state.streams_for_receiver(9) == []
+
+    def test_end_of_current_transmissions(self):
+        state = MediumState()
+        assert state.end_of_current_transmissions_us == 0.0
+        state.add(_transmission(1, [0], 2, end=500.0))
+        state.add(_transmission(3, [1], 4, end=800.0))
+        assert state.end_of_current_transmissions_us == 800.0
+
+    def test_remove_transmitter(self):
+        state = MediumState()
+        state.add(_transmission(1, [0], 2))
+        state.remove_transmitter(1)
+        assert not state.busy
+
+    def test_remove_unknown_transmitter_raises(self):
+        state = MediumState()
+        with pytest.raises(MediumAccessError):
+            state.remove_transmitter(42)
+
+    def test_clear(self):
+        state = MediumState()
+        state.add(_transmission(1, [0], 2))
+        state.receiver_subspaces[2] = None
+        state.clear()
+        assert not state.busy
+        assert state.receiver_subspaces == {}

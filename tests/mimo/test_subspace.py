@@ -1,0 +1,86 @@
+"""Tests for the unwanted-space construction."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PrecodingError
+from repro.mimo.subspace import decoding_projection, unwanted_space, validate_unwanted_space
+from repro.utils.linalg import is_in_subspace
+
+
+def _random(rng, shape):
+    return rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+
+
+class TestUnwantedSpace:
+    def test_dimensions(self, rng):
+        wanted = _random(rng, (3, 1))
+        interference = _random(rng, (3, 1))
+        unwanted, u_perp = unwanted_space(3, wanted, interference)
+        assert unwanted.shape == (3, 2)
+        assert u_perp.shape == (3, 1)
+
+    def test_no_spare_dimension_gives_identity(self, rng):
+        wanted = _random(rng, (2, 2))
+        unwanted, u_perp = unwanted_space(2, wanted)
+        assert unwanted.shape == (2, 0)
+        assert np.allclose(u_perp, np.eye(2))
+
+    def test_existing_interference_lies_inside_unwanted_space(self, rng):
+        wanted = _random(rng, (3, 1))
+        interference = _random(rng, (3, 2))
+        unwanted, _ = unwanted_space(3, wanted, interference)
+        for column in interference.T:
+            assert is_in_subspace(column, unwanted)
+        assert validate_unwanted_space(unwanted, interference)
+
+    def test_u_and_u_perp_are_orthogonal(self, rng):
+        wanted = _random(rng, (4, 2))
+        interference = _random(rng, (4, 1))
+        unwanted, u_perp = unwanted_space(4, wanted, interference)
+        assert np.allclose(unwanted.conj().T @ u_perp, 0, atol=1e-10)
+
+    def test_wanted_streams_remain_separable(self, rng):
+        wanted = _random(rng, (3, 2))
+        interference = _random(rng, (3, 1))
+        _, u_perp = unwanted_space(3, wanted, interference)
+        projected = u_perp.conj().T @ wanted
+        assert np.linalg.matrix_rank(projected) == 2
+
+    def test_too_much_interference_rejected(self, rng):
+        wanted = _random(rng, (3, 2))
+        interference = _random(rng, (3, 2))
+        with pytest.raises(PrecodingError):
+            unwanted_space(3, wanted, interference)
+
+    def test_too_many_wanted_streams_rejected(self, rng):
+        with pytest.raises(PrecodingError):
+            unwanted_space(2, _random(rng, (2, 3)))
+
+    def test_without_interference_prefers_orthogonal_fill(self, rng):
+        """With no interference on the air, the unwanted space should avoid
+        the wanted directions so the projection keeps full signal power."""
+        wanted = _random(rng, (3, 1))
+        unwanted, u_perp = unwanted_space(3, wanted)
+        projected_power = np.linalg.norm(u_perp.conj().T @ wanted) ** 2
+        assert projected_power == pytest.approx(float(np.linalg.norm(wanted) ** 2), rel=1e-9)
+
+    def test_decoding_projection_matches_complement(self, rng):
+        wanted = _random(rng, (3, 1))
+        interference = _random(rng, (3, 1))
+        unwanted, u_perp = unwanted_space(3, wanted, interference)
+        recomputed = decoding_projection(unwanted, 3)
+        # Both span the same subspace (orthogonal complement of U).
+        assert np.allclose(
+            recomputed @ recomputed.conj().T, u_perp @ u_perp.conj().T, atol=1e-10
+        )
+
+    def test_decoding_projection_of_empty_unwanted_space(self):
+        assert np.allclose(decoding_projection(np.zeros((3, 0)), 3), np.eye(3))
+
+    def test_validate_rejects_outside_interference(self, rng):
+        wanted = _random(rng, (3, 1))
+        interference = _random(rng, (3, 1))
+        unwanted, _ = unwanted_space(3, wanted, interference)
+        foreign = _random(rng, (3, 1))
+        assert not validate_unwanted_space(unwanted, foreign)

@@ -1,0 +1,86 @@
+"""Tests for frequency-offset estimation and packet detection."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SynchronizationError
+from repro.phy.cfo import apply_cfo, correct_cfo, estimate_cfo, residual_cfo_after_compensation
+from repro.phy.preamble import short_training_field
+from repro.phy.sync import delay_and_correlate, detect_packet, symbol_timing_offset
+from repro.channel.models import awgn
+
+
+SAMPLE_RATE = 10e6
+
+
+class TestCfo:
+    @pytest.mark.parametrize("cfo_hz", [-5000.0, -500.0, 0.0, 1234.0, 8000.0])
+    def test_estimates_offset_from_stf(self, cfo_hz, rng):
+        stf = short_training_field()
+        shifted = apply_cfo(stf, cfo_hz, SAMPLE_RATE)
+        estimate = estimate_cfo(shifted, period=16, sample_rate_hz=SAMPLE_RATE)
+        assert estimate == pytest.approx(cfo_hz, abs=50.0)
+
+    def test_estimate_with_noise(self, rng):
+        stf = short_training_field()
+        shifted = awgn(apply_cfo(stf, 3000.0, SAMPLE_RATE), 0.01, rng)
+        estimate = estimate_cfo(shifted, 16, SAMPLE_RATE)
+        assert estimate == pytest.approx(3000.0, abs=300.0)
+
+    def test_correction_restores_signal(self):
+        stf = short_training_field()
+        shifted = apply_cfo(stf, 2500.0, SAMPLE_RATE)
+        corrected = correct_cfo(shifted, 2500.0, SAMPLE_RATE)
+        assert np.allclose(corrected, stf, atol=1e-9)
+
+    def test_apply_then_apply_negative_is_identity(self):
+        samples = np.exp(1j * np.linspace(0, 20, 500))
+        out = apply_cfo(apply_cfo(samples, 1000.0, SAMPLE_RATE), -1000.0, SAMPLE_RATE)
+        assert np.allclose(out, samples, atol=1e-9)
+
+    def test_too_short_input_raises(self):
+        with pytest.raises(SynchronizationError):
+            estimate_cfo(np.zeros(10, dtype=complex), 16, SAMPLE_RATE)
+
+    def test_residual_helper(self):
+        assert residual_cfo_after_compensation(1000.0, 980.0) == pytest.approx(20.0)
+
+    def test_start_index_shifts_phase_consistently(self):
+        samples = np.ones(100, dtype=complex)
+        a = apply_cfo(samples, 1000.0, SAMPLE_RATE, start_index=0)
+        b = apply_cfo(samples, 1000.0, SAMPLE_RATE, start_index=50)
+        assert np.allclose(a[50:], b[:50], atol=1e-12)
+
+
+class TestPacketDetection:
+    def _frame_in_noise(self, rng, start=400, snr_scale=1.0):
+        stf = short_training_field() * snr_scale
+        signal = 0.02 * (rng.standard_normal(2000) + 1j * rng.standard_normal(2000))
+        signal[start : start + len(stf)] += stf
+        return signal
+
+    def test_plateau_metric_peaks_inside_preamble(self, rng):
+        signal = self._frame_in_noise(rng)
+        metric = delay_and_correlate(signal)
+        assert metric[420:520].max() > 0.8
+
+    def test_detects_packet_and_start(self, rng):
+        signal = self._frame_in_noise(rng)
+        detection = detect_packet(signal)
+        assert detection.detected
+        assert abs(detection.start_index - 400) <= 16
+
+    def test_no_packet_in_pure_noise(self, rng):
+        noise = rng.standard_normal(2000) + 1j * rng.standard_normal(2000)
+        assert not detect_packet(noise, threshold=0.8).detected
+
+    def test_timing_refinement_stays_close(self, rng):
+        from repro.phy.preamble import long_training_field
+
+        stf = short_training_field()
+        ltf = long_training_field()
+        frame = np.concatenate([stf, ltf])
+        signal = 0.01 * (rng.standard_normal(1500) + 1j * rng.standard_normal(1500))
+        signal[300 : 300 + len(frame)] += frame
+        refined = symbol_timing_offset(signal, coarse_start=302)
+        assert abs(refined - 300) <= 8

@@ -1,0 +1,55 @@
+"""Tests for PHY header serialization."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DecodingError
+from repro.phy.frame import PHY_HEADER_BITS, FrameType, PhyHeader
+
+
+def _header(**overrides) -> PhyHeader:
+    fields = dict(
+        frame_type=FrameType.DATA_HEADER,
+        source=17,
+        destination=42,
+        length_bytes=1500,
+        mcs_index=5,
+        n_antennas=3,
+        n_streams=2,
+        duration_us=1336,
+    )
+    fields.update(overrides)
+    return PhyHeader(**fields)
+
+
+class TestPhyHeader:
+    def test_roundtrip(self):
+        header = _header()
+        bits = header.to_bits()
+        assert bits.size == PHY_HEADER_BITS
+        assert PhyHeader.from_bits(bits) == header
+
+    def test_roundtrip_ack_header(self):
+        header = _header(frame_type=FrameType.ACK_HEADER, mcs_index=0, n_streams=1)
+        assert PhyHeader.from_bits(header.to_bits()) == header
+
+    def test_crc_detects_corruption(self):
+        bits = _header().to_bits()
+        bits[5] ^= 1
+        with pytest.raises(DecodingError):
+            PhyHeader.from_bits(bits)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(DecodingError):
+            PhyHeader.from_bits(np.zeros(10, dtype=np.int8))
+
+    def test_field_boundaries(self):
+        header = _header(source=0xFFFF, destination=0, duration_us=(1 << 20) - 1)
+        decoded = PhyHeader.from_bits(header.to_bits())
+        assert decoded.source == 0xFFFF
+        assert decoded.duration_us == (1 << 20) - 1
+
+    def test_all_frame_types_roundtrip(self):
+        for frame_type in FrameType:
+            header = _header(frame_type=frame_type)
+            assert PhyHeader.from_bits(header.to_bits()).frame_type is frame_type

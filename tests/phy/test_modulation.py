@@ -1,0 +1,115 @@
+"""Tests for constellation mapping and demapping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError, DimensionError
+from repro.phy.modulation import MODULATIONS, get_modulation
+from repro.utils.bits import random_bits
+
+
+class TestConstellations:
+    @pytest.mark.parametrize("name", ["bpsk", "qpsk", "16qam", "64qam"])
+    def test_unit_average_energy(self, name):
+        modulation = get_modulation(name)
+        energy = np.mean(np.abs(modulation.points) ** 2)
+        assert energy == pytest.approx(1.0, rel=1e-9)
+
+    @pytest.mark.parametrize("name,expected", [("bpsk", 1), ("qpsk", 2), ("16qam", 4), ("64qam", 6)])
+    def test_bits_per_symbol(self, name, expected):
+        assert get_modulation(name).bits_per_symbol == expected
+
+    @pytest.mark.parametrize("name", ["bpsk", "qpsk", "16qam", "64qam"])
+    def test_points_are_distinct(self, name):
+        points = get_modulation(name).points
+        distances = np.abs(points[:, None] - points[None, :])
+        np.fill_diagonal(distances, np.inf)
+        assert distances.min() > 1e-6
+
+    def test_gray_mapping_neighbours_differ_by_one_bit(self):
+        """Adjacent QAM points along one axis must differ in exactly one bit."""
+        modulation = get_modulation("16qam")
+        points = modulation.points
+        # Find, for each point, its nearest neighbours and check Hamming distance.
+        labels = np.arange(len(points))
+        for label in labels:
+            distances = np.abs(points - points[label])
+            distances[label] = np.inf
+            nearest = np.argmin(distances)
+            hamming = bin(label ^ int(nearest)).count("1")
+            assert hamming == 1
+
+    def test_aliases(self):
+        assert get_modulation("4qam") is get_modulation("qpsk")
+        assert get_modulation("QAM64") is get_modulation("64qam")
+
+    def test_unknown_modulation_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_modulation("1024qam")
+
+
+class TestMapping:
+    @pytest.mark.parametrize("name", list(MODULATIONS))
+    def test_hard_decision_roundtrip(self, name, rng):
+        modulation = get_modulation(name)
+        bits = random_bits(modulation.bits_per_symbol * 100, rng)
+        symbols = modulation.modulate(bits)
+        assert symbols.shape == (100,)
+        recovered = modulation.demodulate_hard(symbols)
+        assert np.array_equal(recovered, bits)
+
+    @pytest.mark.parametrize("name", list(MODULATIONS))
+    def test_roundtrip_with_small_noise(self, name, rng):
+        modulation = get_modulation(name)
+        bits = random_bits(modulation.bits_per_symbol * 200, rng)
+        symbols = modulation.modulate(bits)
+        noisy = symbols + 0.01 * (rng.standard_normal(200) + 1j * rng.standard_normal(200))
+        assert np.array_equal(modulation.demodulate_hard(noisy), bits)
+
+    def test_wrong_bit_count_raises(self, rng):
+        with pytest.raises(DimensionError):
+            get_modulation("16qam").modulate(random_bits(5, rng))
+
+    def test_soft_llr_signs_match_hard_decisions(self, rng):
+        modulation = get_modulation("qpsk")
+        bits = random_bits(200, rng)
+        symbols = modulation.modulate(bits)
+        llrs = modulation.demodulate_soft(symbols, noise_var=0.1)
+        hard_from_soft = (llrs < 0).astype(np.int8)
+        assert np.array_equal(hard_from_soft, bits)
+
+    def test_soft_llr_magnitude_grows_with_confidence(self):
+        modulation = get_modulation("bpsk")
+        clean = modulation.modulate(np.array([0], dtype=np.int8))
+        llr_clean = modulation.demodulate_soft(clean, noise_var=1.0)
+        llr_noisy = modulation.demodulate_soft(clean * 0.2, noise_var=1.0)
+        assert abs(llr_clean[0]) > abs(llr_noisy[0])
+
+    @given(seed=st.integers(0, 1000), name=st.sampled_from(["bpsk", "qpsk", "16qam", "64qam"]))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, seed, name):
+        rng = np.random.default_rng(seed)
+        modulation = get_modulation(name)
+        bits = random_bits(modulation.bits_per_symbol * 16, rng)
+        assert np.array_equal(modulation.demodulate_hard(modulation.modulate(bits)), bits)
+
+
+class TestErrorProbabilities:
+    def test_ber_decreases_with_snr(self):
+        modulation = get_modulation("16qam")
+        bers = [modulation.bit_error_probability(snr) for snr in (0, 10, 20, 30)]
+        assert all(b1 > b2 for b1, b2 in zip(bers, bers[1:]))
+
+    def test_higher_order_modulations_need_more_snr(self):
+        snr = 12.0
+        assert get_modulation("bpsk").bit_error_probability(snr) < get_modulation(
+            "64qam"
+        ).bit_error_probability(snr)
+
+    def test_probability_is_bounded(self):
+        for name in MODULATIONS:
+            modulation = get_modulation(name)
+            assert 0 <= modulation.symbol_error_probability(-20) <= 1
+            assert 0 <= modulation.symbol_error_probability(40) <= 1

@@ -1,0 +1,117 @@
+"""Tests for traffic sources, metrics and station dataclasses."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.sim.metrics import LinkMetrics, NetworkMetrics, empirical_cdf, jain_fairness_index
+from repro.sim.node import Station, TrafficPair
+from repro.sim.traffic import PoissonSource, SaturatedSource
+
+
+class TestStation:
+    def test_defaults(self):
+        station = Station(3, 2)
+        assert station.name == "node3"
+        assert station.location is None
+
+    def test_zero_antennas_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Station(0, 0)
+
+
+class TestTrafficPair:
+    def test_default_stream_allocation(self):
+        tx = Station(0, 3, "tx")
+        rx = Station(1, 2, "rx")
+        pair = TrafficPair(tx, [rx])
+        assert pair.streams_per_receiver == [2]
+        assert pair.n_streams == 2
+        assert pair.name == "tx->rx"
+
+    def test_multi_receiver_default_split(self):
+        ap = Station(0, 3, "AP")
+        c1 = Station(1, 2, "c1")
+        c2 = Station(2, 2, "c2")
+        pair = TrafficPair(ap, [c1, c2])
+        assert sum(pair.streams_per_receiver) <= 3
+
+    def test_stream_count_cannot_exceed_antennas(self):
+        with pytest.raises(ConfigurationError):
+            TrafficPair(Station(0, 2), [Station(1, 2)], streams_per_receiver=[3])
+
+    def test_receiver_list_required(self):
+        with pytest.raises(ConfigurationError):
+            TrafficPair(Station(0, 2), [])
+
+    def test_mismatched_allocation_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TrafficPair(Station(0, 2), [Station(1, 1)], streams_per_receiver=[1, 1])
+
+
+class TestTrafficSources:
+    def test_saturated_source_always_has_packets(self):
+        source = SaturatedSource(0, 1)
+        assert source.has_packet(0.0)
+        first = source.next_packet(0.0)
+        second = source.next_packet(10.0)
+        assert first.packet_id != second.packet_id
+        assert first.destination == 1
+
+    def test_poisson_interarrival_times(self, rng):
+        source = PoissonSource(0, 1, rate_packets_per_second=10_000.0, rng=rng)
+        arrivals = []
+        now = 0.0
+        for _ in range(200):
+            while not source.has_packet(now):
+                now += 10.0
+            packet = source.next_packet(now)
+            arrivals.append(packet.created_us)
+        gaps = np.diff(arrivals)
+        assert np.mean(gaps) == pytest.approx(100.0, rel=0.3)
+
+    def test_poisson_no_packet_before_first_arrival(self, rng):
+        source = PoissonSource(0, 1, rate_packets_per_second=1.0, rng=rng)
+        assert not source.has_packet(0.0)
+
+
+class TestMetrics:
+    def test_throughput_computation(self):
+        metrics = NetworkMetrics(elapsed_us=1_000_000.0)
+        link = metrics.link("a->b")
+        link.delivered_bits = 5_000_000
+        assert metrics.throughput_mbps("a->b") == pytest.approx(5.0)
+        assert metrics.total_throughput_mbps() == pytest.approx(5.0)
+
+    def test_delivery_ratio(self):
+        link = LinkMetrics("x")
+        link.attempted_bits = 1000
+        link.delivered_bits = 900
+        assert link.delivery_ratio == pytest.approx(0.9)
+        assert LinkMetrics("y").delivery_ratio == 0.0
+
+    def test_zero_elapsed_time(self):
+        metrics = NetworkMetrics()
+        metrics.link("a")
+        assert metrics.total_throughput_mbps() == 0.0
+
+    def test_empirical_cdf(self):
+        values, probabilities = empirical_cdf([3.0, 1.0, 2.0])
+        assert list(values) == [1.0, 2.0, 3.0]
+        assert probabilities[-1] == pytest.approx(1.0)
+
+    def test_empirical_cdf_empty(self):
+        values, probabilities = empirical_cdf([])
+        assert values.size == 0 and probabilities.size == 0
+
+    def test_jain_index_equal_shares(self):
+        assert jain_fairness_index([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_jain_index_single_hog(self):
+        assert jain_fairness_index([9.0, 0.0, 0.0]) == pytest.approx(1 / 3)
+
+    def test_fairness_of_network_metrics(self):
+        metrics = NetworkMetrics(elapsed_us=1e6)
+        metrics.link("a").delivered_bits = 1_000_000
+        metrics.link("b").delivered_bits = 1_000_000
+        assert metrics.fairness_index() == pytest.approx(1.0)

@@ -1,0 +1,51 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_known_commands_parse(self):
+        parser = build_parser()
+        for command in ("fig9", "fig11", "fig12", "fig13", "handshake", "all"):
+            args = parser.parse_args([command])
+            assert args.command == command
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_options_have_defaults(self):
+        args = build_parser().parse_args(["fig12"])
+        assert args.runs > 0
+        assert args.duration_ms > 0
+        assert args.seed == 0
+
+    def test_option_overrides(self):
+        args = build_parser().parse_args(
+            ["fig12", "--runs", "3", "--duration-ms", "25", "--seed", "9"]
+        )
+        assert args.runs == 3
+        assert args.duration_ms == 25.0
+        assert args.seed == 9
+
+
+class TestMain:
+    def test_handshake_command_runs(self, capsys):
+        exit_code = main(["handshake", "--trials", "5"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "handshake overhead" in captured.out
+
+    def test_fig9_command_runs(self, capsys):
+        exit_code = main(["fig9", "--trials", "3"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "power jump" in captured.out
+
+    def test_fig12_command_runs_quickly(self, capsys):
+        exit_code = main(["fig12", "--runs", "1", "--duration-ms", "10", "--subcarriers", "8"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "802.11n" in captured.out

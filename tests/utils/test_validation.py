@@ -1,0 +1,66 @@
+"""Tests for the argument-validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DimensionError
+from repro.utils.validation import (
+    as_channel_matrix,
+    require_antenna_count,
+    require_in_range,
+    require_matrix_shape,
+    require_positive,
+    require_positive_int,
+)
+
+
+class TestScalarValidators:
+    def test_positive_int_accepts_int(self):
+        assert require_positive_int(3, "x") == 3
+
+    def test_positive_int_rejects_zero_and_negative(self):
+        with pytest.raises(ConfigurationError):
+            require_positive_int(0, "x")
+        with pytest.raises(ConfigurationError):
+            require_positive_int(-1, "x")
+
+    def test_positive_int_rejects_bool_and_float(self):
+        with pytest.raises(ConfigurationError):
+            require_positive_int(True, "x")
+        with pytest.raises(ConfigurationError):
+            require_positive_int(2.5, "x")
+
+    def test_positive_float(self):
+        assert require_positive(0.5, "x") == 0.5
+        with pytest.raises(ConfigurationError):
+            require_positive(0.0, "x")
+
+    def test_in_range(self):
+        assert require_in_range(5, 0, 10, "x") == 5.0
+        with pytest.raises(ConfigurationError):
+            require_in_range(11, 0, 10, "x")
+
+    def test_antenna_count_limits(self):
+        assert require_antenna_count(4, "antennas") == 4
+        with pytest.raises(ConfigurationError):
+            require_antenna_count(9, "antennas")
+
+
+class TestMatrixValidators:
+    def test_matrix_shape_enforced(self, rng):
+        matrix = rng.standard_normal((2, 3))
+        assert require_matrix_shape(matrix, (2, 3), "H").shape == (2, 3)
+        with pytest.raises(DimensionError):
+            require_matrix_shape(matrix, (3, 2), "H")
+
+    def test_channel_matrix_reshapes_vectors(self, rng):
+        vector = rng.standard_normal(3)
+        assert as_channel_matrix(vector, 1, 3).shape == (1, 3)
+        assert as_channel_matrix(vector, 3, 1).shape == (3, 1)
+
+    def test_channel_matrix_scalar(self):
+        assert as_channel_matrix(2.0, 1, 1).shape == (1, 1)
+
+    def test_channel_matrix_wrong_shape_raises(self, rng):
+        with pytest.raises(DimensionError):
+            as_channel_matrix(rng.standard_normal((2, 2)), 3, 2)
