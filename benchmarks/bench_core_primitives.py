@@ -14,6 +14,7 @@ from repro.mac.plan import PlannedReceiver, ProtectedReceiver, plan_join
 from repro.mimo.carrier_sense import MultiDimensionalCarrierSense
 from repro.phy.coding import Codec
 from repro.phy.rates import MCS_TABLE
+from repro.phy.transceiver import MimoTransmitter, StreamConfig
 from repro.utils.bits import random_bits
 
 
@@ -67,5 +68,40 @@ def bench_codec_decode_1500_bytes(benchmark):
     bits = random_bits(12_000, rng)
     coded = codec.encode(bits).astype(float)
 
-    decoded = benchmark.pedantic(lambda: codec.decode(coded, bits.size), rounds=1, iterations=1)
+    decoded = benchmark(lambda: codec.decode(coded, bits.size))
     assert np.array_equal(decoded, bits)
+
+
+def bench_viterbi_soft_decode_1500_bytes(benchmark):
+    """Soft-decision decoding cost of a 1500-byte packet (noisy LLR input)."""
+    rng = np.random.default_rng(4)
+    codec = Codec(MCS_TABLE[5])
+    bits = random_bits(12_000, rng)
+    coded = codec.encode(bits).astype(float)
+    llrs = (1.0 - 2.0 * coded) * 4.0 + rng.normal(0.0, 1.0, coded.size)
+
+    decoded = benchmark(lambda: codec.decode(llrs, bits.size, soft=True))
+    assert decoded.size == bits.size
+
+
+def bench_build_frame_precoded(benchmark):
+    """Cost of building a 2-stream frame with per-subcarrier pre-coders
+    (the n+ transmit hot path, §4 "Multipath")."""
+    rng = np.random.default_rng(5)
+    n_antennas = 3
+    transmitter = MimoTransmitter(n_antennas)
+    fft_size = transmitter.config.fft_size
+    streams = [
+        StreamConfig(
+            bits=random_bits(2_000, rng),
+            mcs=MCS_TABLE[3],
+            precoder=rng.standard_normal((fft_size, n_antennas))
+            + 1j * rng.standard_normal((fft_size, n_antennas)),
+            stream_id=index,
+        )
+        for index in range(2)
+    ]
+
+    samples, layout = benchmark(lambda: transmitter.build_frame(streams))
+    assert samples.shape[0] == n_antennas
+    assert layout.n_streams == 2

@@ -1,0 +1,152 @@
+#!/usr/bin/env python
+"""Perf-regression harness for the core-primitive benchmarks.
+
+Runs the tracked ``pytest-benchmark`` suite and maintains a committed
+baseline (``BENCH_core.json`` at the repository root) so hot-path
+regressions are caught mechanically:
+
+    python benchmarks/run_all.py             # run suite, (re)write BENCH_core.json
+    python benchmarks/run_all.py --compare   # run suite, fail on >25% regressions
+    python benchmarks/run_all.py --compare --threshold 0.5
+
+``--compare`` exits non-zero if any tracked benchmark's mean runtime
+regresses more than ``--threshold`` (default 0.25, i.e. 25%) against the
+committed baseline.  New benchmarks that have no baseline entry are
+reported but do not fail the comparison; refresh the baseline to start
+tracking them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "BENCH_core.json"
+
+#: Benchmark files whose timings are tracked against the baseline.  The
+#: figure-reproduction benchmarks are excluded: they are experiment
+#: re-runs, not per-packet hot paths.
+TRACKED_FILES = ["benchmarks/bench_core_primitives.py"]
+
+
+def run_suite() -> dict:
+    """Run the tracked benchmarks and return ``{name: mean_seconds}``."""
+    with tempfile.TemporaryDirectory() as tmp:
+        json_path = Path(tmp) / "bench.json"
+        command = [
+            sys.executable,
+            "-m",
+            "pytest",
+            *TRACKED_FILES,
+            "-o",
+            "python_files=bench_*.py",
+            "-o",
+            "python_functions=bench_*",
+            "--benchmark-only",
+            "-p",
+            "no:cacheprovider",
+            "-q",
+            f"--benchmark-json={json_path}",
+        ]
+        env = dict(os.environ)
+        src = str(REPO_ROOT / "src")
+        env["PYTHONPATH"] = src + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        result = subprocess.run(command, cwd=REPO_ROOT, env=env)
+        if result.returncode != 0:
+            raise SystemExit(f"benchmark run failed with exit code {result.returncode}")
+        payload = json.loads(json_path.read_text())
+    means = {}
+    for bench in payload["benchmarks"]:
+        means[bench["name"]] = bench["stats"]["mean"]
+    if not means:
+        raise SystemExit("benchmark run produced no timings")
+    return means
+
+
+def write_baseline(means: dict) -> None:
+    baseline = {
+        "note": (
+            "Mean runtimes (seconds) of the tracked core-primitive benchmarks. "
+            "Regenerate with: python benchmarks/run_all.py"
+        ),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "benchmarks": {name: {"mean_s": mean} for name, mean in sorted(means.items())},
+    }
+    BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+    print(f"wrote baseline with {len(means)} benchmarks to {BASELINE_PATH}")
+
+
+def compare(means: dict, threshold: float) -> int:
+    if not BASELINE_PATH.exists():
+        print(f"no baseline at {BASELINE_PATH}; run without --compare to create one")
+        return 1
+    baseline = json.loads(BASELINE_PATH.read_text())["benchmarks"]
+
+    regressions = []
+    width = max(len(name) for name in means)
+    print(f"{'benchmark'.ljust(width)}  {'baseline':>12}  {'current':>12}  {'ratio':>7}")
+    for name, mean in sorted(means.items()):
+        entry = baseline.get(name)
+        if entry is None:
+            print(f"{name.ljust(width)}  {'--':>12}  {mean * 1e3:>10.3f}ms  {'new':>7}")
+            continue
+        base = entry["mean_s"]
+        ratio = mean / base if base > 0 else float("inf")
+        flag = "  REGRESSED" if ratio > 1.0 + threshold else ""
+        print(
+            f"{name.ljust(width)}  {base * 1e3:>10.3f}ms  {mean * 1e3:>10.3f}ms  "
+            f"{ratio:>6.2f}x{flag}"
+        )
+        if ratio > 1.0 + threshold:
+            regressions.append((name, ratio))
+    missing = sorted(set(baseline) - set(means))
+    for name in missing:
+        print(f"{name.ljust(width)}  present in baseline but not run")
+
+    if regressions:
+        print(
+            f"\n{len(regressions)} benchmark(s) regressed more than "
+            f"{threshold:.0%} against {BASELINE_PATH.name}"
+        )
+        return 1
+    if missing:
+        print(f"\n{len(missing)} baseline benchmark(s) were not run")
+        return 1
+    print(f"\nall {len(means)} tracked benchmarks within {threshold:.0%} of the baseline")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--compare",
+        action="store_true",
+        help="compare against the committed baseline instead of rewriting it",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="maximum tolerated mean-runtime regression (default: 0.25 = 25%%)",
+    )
+    args = parser.parse_args(argv)
+
+    means = run_suite()
+    if args.compare:
+        return compare(means, args.threshold)
+    write_baseline(means)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -89,8 +89,46 @@ class HardwareProfile:
             self.alignment_suppression_db if aligned else self.nulling_suppression_db
         )
         if rng is not None:
-            suppression_db = suppression_db + rng.normal(0.0, 2.0)
+            suppression_db = suppression_db + self.draw_suppression_jitter(rng)
         return float(interference_power * db_to_linear(-suppression_db))
+
+    #: Standard deviation (dB) of the per-packet suppression fluctuation
+    #: around the mean, reproducing the spread of Fig. 11.
+    SUPPRESSION_JITTER_SIGMA_DB = 2.0
+
+    def draw_suppression_jitter(self, rng: np.random.Generator, size=None):
+        """Draw the suppression fluctuation (dB) around the mean.
+
+        Vector draws fill in C order, so one ``size=(n_sub, n_streams)``
+        draw reproduces the sequence of the equivalent nested scalar loop.
+        """
+        return rng.normal(0.0, self.SUPPRESSION_JITTER_SIGMA_DB, size=size)
+
+    def residual_interference_power_batch(
+        self,
+        interference_power: np.ndarray,
+        aligned: bool,
+        suppression_jitter_db: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Vectorized :meth:`residual_interference_power`.
+
+        Parameters
+        ----------
+        interference_power:
+            Per-subcarrier unprotected interference powers (linear).
+        aligned:
+            ``True`` for alignment, ``False`` for nulling.
+        suppression_jitter_db:
+            Optional per-subcarrier suppression fluctuation in dB (the
+            caller draws it, so it can control the draw order of a shared
+            generator).
+        """
+        suppression_db = (
+            self.alignment_suppression_db if aligned else self.nulling_suppression_db
+        )
+        if suppression_jitter_db is not None:
+            suppression_db = suppression_db + np.asarray(suppression_jitter_db, dtype=float)
+        return np.asarray(interference_power, dtype=float) * db_to_linear(-suppression_db)
 
     def perturb_channel(
         self, channel: np.ndarray, rng: np.random.Generator, reciprocity: bool = False

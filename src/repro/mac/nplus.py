@@ -255,13 +255,9 @@ def _subspace_orthogonal_to(
     """Per-subcarrier decoding subspace orthogonal to given directions.
 
     ``directions`` has shape ``(n_subcarriers, N, k)``; the result has
-    shape ``(n_subcarriers, N, n_streams)``.
+    shape ``(n_subcarriers, N, n_streams)``.  All subcarriers are handled
+    by one batched SVD.
     """
-    from repro.utils.linalg import orthonormal_complement
+    from repro.utils.linalg import orthonormal_complement_batch
 
-    n_sub = directions.shape[0]
-    out = np.zeros((n_sub, n_antennas, n_streams), dtype=complex)
-    for k in range(n_sub):
-        complement = orthonormal_complement(directions[k])
-        out[k] = complement[:, :n_streams]
-    return out
+    return orthonormal_complement_batch(directions, n_streams)

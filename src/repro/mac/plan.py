@@ -28,7 +28,7 @@ from repro.constants import INTERFERENCE_ADMISSION_THRESHOLD_DB
 from repro.exceptions import DimensionError, PrecodingError
 from repro.mac.power_control import admission_power_scale, interference_power_db
 from repro.mimo.dof import InterferenceStrategy, choose_strategy, max_concurrent_streams
-from repro.mimo.precoder import OwnReceiver, ReceiverConstraint, compute_precoders
+from repro.mimo.precoder import ReceiverConstraint, compute_precoders_batch
 from repro.utils.linalg import orthonormal_complement
 
 __all__ = [
@@ -94,6 +94,17 @@ class ProtectedReceiver:
             channel=self.channel[subcarrier], u_perp=self.u_perp[subcarrier]
         )
 
+    def constraint_rows_batch(self) -> np.ndarray:
+        """Constraint rows of every subcarrier, ``(n_sub, n_constraints, M)``.
+
+        Nulling contributes the channel itself (Claim 3.3); alignment
+        contributes ``U_perp^H H`` per subcarrier (Eq. 6), computed here as
+        one einsum over the whole stack.
+        """
+        if self.strategy is InterferenceStrategy.NULL or self.u_perp is None:
+            return self.channel
+        return np.einsum("knj,knm->kjm", self.u_perp.conj(), self.channel)
+
     @property
     def n_constraints(self) -> int:
         """Constraint rows this receiver contributes (= protected streams)."""
@@ -149,6 +160,18 @@ class PlannedReceiver:
         if self.u_perp is None:
             return np.eye(self.n_antennas, dtype=complex)[:, : self.n_streams]
         return self.u_perp[subcarrier]
+
+    def decoding_subspace_batch(self, n_sub: int) -> np.ndarray:
+        """U-perp on every subcarrier, ``(n_sub, N, n)``."""
+        if self.u_perp is None:
+            eye = np.eye(self.n_antennas, dtype=complex)[:, : self.n_streams]
+            return np.broadcast_to(eye, (n_sub,) + eye.shape)
+        return self.u_perp
+
+    def constraint_rows_batch(self, n_sub: int) -> np.ndarray:
+        """Rows ``U'_perp^H H'`` of every subcarrier (Claim 3.5)."""
+        subspace = self.decoding_subspace_batch(n_sub)
+        return np.einsum("knj,knm->kjm", subspace.conj(), self.channel)
 
 
 @dataclass
@@ -279,25 +302,20 @@ def plan_initial_transmission(
             )
         return TransmissionPlan(transmitter_id=transmitter_id, streams=streams)
 
-    # Multi-user beamforming: per subcarrier, solve Eq. 7 with no ongoing
-    # receivers so each stream lands orthogonally to the other receivers'
-    # decoding subspaces.
+    # Multi-user beamforming: solve Eq. 7 (with no ongoing receivers) on
+    # every subcarrier at once, so each stream lands orthogonally to the
+    # other receivers' decoding subspaces.
     stream_receivers: List[int] = []
     for receiver in receivers:
         stream_receivers.extend([receiver.receiver_id] * receiver.n_streams)
-    precoders = np.zeros((n_sub, total_streams, n_tx_antennas), dtype=complex)
-    for k in range(n_sub):
-        own = [
-            OwnReceiver(
-                channel=r.channel[k],
-                u_perp=r.decoding_subspace(k),
-                n_streams=r.n_streams,
-            )
-            for r in receivers
-        ]
-        vectors = compute_precoders(n_tx_antennas, ongoing=[], own_receivers=own)
-        for index, vector in enumerate(vectors):
-            precoders[k, index] = vector
+    own_rows = [r.constraint_rows_batch(n_sub) for r in receivers]
+    precoders = compute_precoders_batch(
+        n_tx_antennas,
+        ongoing_rows=np.zeros((n_sub, 0, n_tx_antennas), dtype=complex),
+        own_rows=np.concatenate(own_rows, axis=1),
+        own_stream_counts=[r.n_streams for r in receivers],
+        own_row_counts=[rows.shape[1] for rows in own_rows],
+    )
     streams = [
         StreamPlan(stream_index=i, receiver_id=stream_receivers[i], precoders=precoders[:, i, :])
         for i in range(total_streams)
@@ -368,30 +386,26 @@ def plan_join(
         stream_receivers.extend([receiver.receiver_id] * receiver.n_streams)
 
     total_streams = len(stream_receivers)
-    precoders = np.zeros((n_sub, total_streams, n_tx_antennas), dtype=complex)
-    for k in range(n_sub):
-        ongoing_constraints = [p.constraint(k) for p in protected]
-        if len(receivers) == 1:
-            vectors = compute_precoders(
-                n_tx_antennas,
-                ongoing=ongoing_constraints,
-                own_receivers=None,
-                n_streams=total_streams,
-            )
-        else:
-            own = [
-                OwnReceiver(
-                    channel=r.channel[k],
-                    u_perp=r.decoding_subspace(k),
-                    n_streams=r.n_streams,
-                )
-                for r in receivers
-            ]
-            vectors = compute_precoders(
-                n_tx_antennas, ongoing=ongoing_constraints, own_receivers=own
-            )
-        for index, vector in enumerate(vectors):
-            precoders[k, index] = vector
+    shared_rows = (
+        np.concatenate([p.constraint_rows_batch() for p in protected], axis=1)
+        if protected
+        else np.zeros((n_sub, 0, n_tx_antennas), dtype=complex)
+    )
+    if len(receivers) == 1:
+        precoders = compute_precoders_batch(
+            n_tx_antennas,
+            ongoing_rows=shared_rows,
+            n_streams=total_streams,
+        )
+    else:
+        own_rows = [r.constraint_rows_batch(n_sub) for r in receivers]
+        precoders = compute_precoders_batch(
+            n_tx_antennas,
+            ongoing_rows=shared_rows,
+            own_rows=np.concatenate(own_rows, axis=1),
+            own_stream_counts=[r.n_streams for r in receivers],
+            own_row_counts=[rows.shape[1] for rows in own_rows],
+        )
 
     streams = [
         StreamPlan(stream_index=i, receiver_id=stream_receivers[i], precoders=precoders[:, i, :])

@@ -24,9 +24,15 @@ import numpy as np
 from repro.exceptions import DimensionError, PrecodingError
 from repro.mimo.alignment import alignment_constraint_rows
 from repro.mimo.nulling import nulling_constraint_rows
-from repro.utils.linalg import null_space
+from repro.utils.linalg import null_space, null_space_batch
 
-__all__ = ["ReceiverConstraint", "OwnReceiver", "max_streams", "compute_precoders"]
+__all__ = [
+    "ReceiverConstraint",
+    "OwnReceiver",
+    "max_streams",
+    "compute_precoders",
+    "compute_precoders_batch",
+]
 
 
 @dataclass
@@ -267,3 +273,152 @@ def compute_precoders(
     if normalize:
         solution = _normalize_columns(solution)
     return [solution[:, i].copy() for i in range(solution.shape[1])]
+
+
+def _normalize_columns_batch(matrices: np.ndarray) -> np.ndarray:
+    norms = np.linalg.norm(matrices, axis=1, keepdims=True)
+    return matrices / np.where(norms > 1e-15, norms, 1.0)
+
+
+def compute_precoders_batch(
+    n_tx_antennas: int,
+    ongoing_rows: np.ndarray,
+    own_rows: Optional[np.ndarray] = None,
+    own_stream_counts: Optional[Sequence[int]] = None,
+    own_row_counts: Optional[Sequence[int]] = None,
+    n_streams: Optional[int] = None,
+    normalize: bool = True,
+    rcond: float = 1e-10,
+) -> np.ndarray:
+    """Batched version of :func:`compute_precoders` over all subcarriers.
+
+    Instead of per-subcarrier :class:`ReceiverConstraint`/:class:`OwnReceiver`
+    objects, the caller passes the constraint rows of *all* subcarriers as
+    stacked arrays; the whole per-subcarrier linear algebra then runs as a
+    handful of batched ``np.linalg`` calls.
+
+    Parameters
+    ----------
+    n_tx_antennas:
+        M, the joiner's antenna count.
+    ongoing_rows:
+        ``(n_sub, K, M)`` stacked nulling/alignment constraint rows of the
+        ongoing receivers (``K`` may be zero).
+    own_rows:
+        ``(n_sub, T, M)`` stacked constraint rows ``U'_perp^H H'`` of the
+        joiner's own receivers, concatenated in receiver order, or ``None``
+        when there are no own-receiver cross constraints.
+    own_stream_counts:
+        Streams destined to each own receiver (required with ``own_rows``).
+    own_row_counts:
+        Constraint rows contributed by each own receiver (required with
+        ``own_rows``); ``sum(own_row_counts)`` must equal ``T``.
+    n_streams:
+        As in :func:`compute_precoders`.
+    normalize:
+        Scale each pre-coder to unit norm.
+    rcond:
+        Rank tolerance for the underlying decompositions.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n_sub, n_streams, M)``: per subcarrier, the same pre-coding
+        vectors :func:`compute_precoders` returns (in the same order).
+    """
+    shared = np.asarray(ongoing_rows, dtype=complex)
+    if shared.ndim != 3:
+        raise DimensionError(f"ongoing rows must have shape (n_sub, K, M), got {shared.shape}")
+    if shared.shape[2] != n_tx_antennas:
+        raise DimensionError(
+            f"an ongoing receiver's channel has {shared.shape[2]} transmit antennas, "
+            f"expected {n_tx_antennas}"
+        )
+    n_sub, n_shared, _ = shared.shape
+    free_dof = n_tx_antennas - n_shared
+    if free_dof <= 0:
+        raise PrecodingError(
+            f"the {n_shared} ongoing streams consume every one of the joiner's "
+            f"{n_tx_antennas} antennas; it cannot transmit (Claim 3.2)"
+        )
+
+    # --- Simple case: no own-receiver cross constraints --------------------
+    if own_rows is None:
+        wanted = free_dof if n_streams is None else n_streams
+        if wanted > free_dof or wanted < 1:
+            raise PrecodingError(
+                f"cannot form {wanted} streams with {free_dof} free degrees of freedom"
+            )
+        try:
+            basis = null_space_batch(shared, wanted, rcond)  # (n_sub, M, wanted)
+        except DimensionError as exc:
+            raise PrecodingError(
+                "ongoing constraints are rank deficient; no usable null space"
+            ) from exc
+        if normalize:
+            basis = _normalize_columns_batch(basis)
+        return basis.transpose(0, 2, 1)
+
+    # --- General case: Eq. 7 ------------------------------------------------
+    own = np.asarray(own_rows, dtype=complex)
+    if own.ndim != 3 or own.shape[0] != n_sub or own.shape[2] != n_tx_antennas:
+        raise DimensionError(
+            f"own rows must have shape ({n_sub}, T, {n_tx_antennas}), got {own.shape}"
+        )
+    if own_stream_counts is None or own_row_counts is None:
+        raise DimensionError("own_stream_counts and own_row_counts are required with own_rows")
+    own_row_counts = list(own_row_counts)
+    own_stream_counts = list(own_stream_counts)
+    if sum(own_row_counts) != own.shape[1]:
+        raise DimensionError("own_row_counts do not sum to the own-row count")
+    for count, rows_count in zip(own_stream_counts, own_row_counts):
+        if count < 1:
+            raise PrecodingError("an own receiver must take at least one stream")
+        if count > rows_count:
+            raise PrecodingError(
+                f"receiver's decoding subspace has dimension {rows_count} "
+                f"but {count} streams are destined to it"
+            )
+    total_own_streams = sum(own_stream_counts)
+    if n_streams is not None and n_streams != total_own_streams:
+        raise PrecodingError(
+            f"n_streams={n_streams} disagrees with the own receivers' total "
+            f"({total_own_streams})"
+        )
+    if total_own_streams > free_dof:
+        raise PrecodingError(
+            f"own receivers ask for {total_own_streams} streams but only {free_dof} "
+            f"degrees of freedom are free (Claim 3.2)"
+        )
+
+    matrix = np.concatenate([shared, own], axis=1)  # (n_sub, T_total, M)
+    total_rows = matrix.shape[1]
+
+    # Right-hand side (identical on every subcarrier): zeros for the ongoing
+    # receivers; stream i of own receiver j gets a unit entry in one of
+    # receiver j's rows.
+    rhs = np.zeros((total_rows, total_own_streams), dtype=complex)
+    column = 0
+    row_offset = n_shared
+    for receiver_index, count in enumerate(own_stream_counts):
+        base = row_offset + sum(own_row_counts[:receiver_index])
+        for stream in range(count):
+            rhs[base + stream, column] = 1.0
+            column += 1
+
+    if total_rows == n_tx_antennas:
+        try:
+            solution = np.linalg.solve(matrix, np.broadcast_to(rhs, (n_sub,) + rhs.shape))
+        except np.linalg.LinAlgError as exc:
+            raise PrecodingError(f"the combined constraint matrix is singular: {exc}") from exc
+    else:
+        solution = np.linalg.pinv(matrix, rcond=rcond) @ rhs
+        # Verify the hard constraints (protecting ongoing receivers) hold.
+        if n_shared and not np.allclose(shared @ solution, 0, atol=1e-8):
+            raise PrecodingError(
+                "least-squares solution cannot satisfy the nulling/alignment constraints"
+            )
+
+    if normalize:
+        solution = _normalize_columns_batch(solution)
+    return solution.transpose(0, 2, 1)

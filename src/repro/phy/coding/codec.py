@@ -9,7 +9,7 @@ import numpy as np
 
 from repro.constants import NUM_DATA_SUBCARRIERS
 from repro.exceptions import DimensionError
-from repro.phy.coding.convolutional import ConvolutionalEncoder
+from repro.phy.coding.convolutional import default_encoder
 from repro.phy.coding.interleaver import deinterleave, interleave
 from repro.phy.coding.puncturing import depuncture, puncture, punctured_length
 from repro.phy.coding.scrambler import descramble, scramble
@@ -31,7 +31,9 @@ class Codec:
     mcs: MCS
 
     def __post_init__(self) -> None:
-        self._encoder = ConvolutionalEncoder()
+        # The encoder is stateless; share the default instance instead of
+        # rebuilding its tap arrays for every codec (one per stream per frame).
+        self._encoder = default_encoder()
 
     # -- sizing -------------------------------------------------------------
 

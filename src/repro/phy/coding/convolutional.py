@@ -7,11 +7,20 @@ rates are obtained by puncturing (:mod:`repro.phy.coding.puncturing`).
 
 from __future__ import annotations
 
+from typing import Dict, Tuple
+
 import numpy as np
 
 from repro.exceptions import ConfigurationError
 
-__all__ = ["ConvolutionalEncoder", "conv_encode", "CONSTRAINT_LENGTH", "G0", "G1"]
+__all__ = [
+    "ConvolutionalEncoder",
+    "conv_encode",
+    "default_encoder",
+    "CONSTRAINT_LENGTH",
+    "G0",
+    "G1",
+]
 
 #: Constraint length of the 802.11 convolutional code.
 CONSTRAINT_LENGTH = 7
@@ -27,6 +36,56 @@ def _polynomial_taps(poly: int, constraint_length: int) -> np.ndarray:
         [(poly >> (constraint_length - 1 - i)) & 1 for i in range(constraint_length)],
         dtype=np.int8,
     )
+
+
+#: Trellis tables keyed by ``(g0, g1, constraint_length)``.  The tables are
+#: pure functions of the polynomials, so every encoder instance with the same
+#: parameters shares one read-only copy instead of rebuilding them per decode.
+_TRELLIS_CACHE: Dict[
+    Tuple[int, int, int], Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+] = {}
+
+
+def _build_trellis(
+    g0: int, g1: int, constraint_length: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Build ``(next_state, outputs, prev_states, prev_bits)`` for a code."""
+    k = constraint_length
+    n_states = 1 << (k - 1)
+    taps0 = _polynomial_taps(g0, k).astype(np.int64)
+    taps1 = _polynomial_taps(g1, k).astype(np.int64)
+
+    states = np.arange(n_states, dtype=np.int64)
+    input_bits = np.arange(2, dtype=np.int64)
+    registers = (input_bits[None, :] << (k - 1)) | states[:, None]  # (n_states, 2)
+    shifts = k - 1 - np.arange(k, dtype=np.int64)
+    windows = (registers[:, :, None] >> shifts) & 1  # (n_states, 2, k), newest first
+    out0 = (windows @ taps0) % 2
+    out1 = (windows @ taps1) % 2
+    next_state = (registers >> 1).astype(np.int32)
+    outputs = np.stack([out0, out1], axis=2).astype(np.int8)
+
+    # Each state has exactly two incoming transitions, from the registers
+    # ``2 * state`` and ``2 * state + 1`` (ascending predecessor order, which
+    # matches the scan order of the reference add-compare-select loop).
+    incoming_registers = 2 * states[:, None] + input_bits[None, :]  # (n_states, 2)
+    prev_bits = (incoming_registers >> (k - 1)).astype(np.int8)
+    prev_states = (incoming_registers & (n_states - 1)).astype(np.int32)
+
+    for array in (next_state, outputs, prev_states, prev_bits):
+        array.setflags(write=False)
+    return next_state, outputs, prev_states, prev_bits
+
+
+def _trellis_tables(
+    g0: int, g1: int, constraint_length: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    key = (g0, g1, constraint_length)
+    tables = _TRELLIS_CACHE.get(key)
+    if tables is None:
+        tables = _build_trellis(g0, g1, constraint_length)
+        _TRELLIS_CACHE[key] = tables
+    return tables
 
 
 class ConvolutionalEncoder:
@@ -88,25 +147,40 @@ class ConvolutionalEncoder:
             state ``s``.
         outputs : numpy.ndarray, shape (n_states, 2, 2)
             ``outputs[s, b]`` is the pair of coded bits emitted.
+
+        The returned arrays are shared, read-only cached tables.
         """
-        n_states = self.n_states
-        next_state = np.zeros((n_states, 2), dtype=np.int32)
-        outputs = np.zeros((n_states, 2, 2), dtype=np.int8)
-        k = self.constraint_length
-        for state in range(n_states):
-            for bit in range(2):
-                register = (bit << (k - 1)) | state
-                window = np.array([(register >> (k - 1 - i)) & 1 for i in range(k)], dtype=np.int8)
-                out0 = int(window @ self._taps0) % 2
-                out1 = int(window @ self._taps1) % 2
-                next_state[state, bit] = register >> 1
-                outputs[state, bit, 0] = out0
-                outputs[state, bit, 1] = out1
+        next_state, outputs, _, _ = _trellis_tables(self.g0, self.g1, self.constraint_length)
         return next_state, outputs
+
+    def predecessors(self):
+        """Return the reverse trellis tables used by the vectorized decoder.
+
+        Returns
+        -------
+        prev_states : numpy.ndarray, shape (n_states, 2)
+            ``prev_states[s, j]`` is the ``j``-th state with a transition
+            into ``s`` (ascending state order).
+        prev_bits : numpy.ndarray, shape (n_states, 2)
+            ``prev_bits[s, j]`` is the input bit of that transition.
+
+        The returned arrays are shared, read-only cached tables.
+        """
+        _, _, prev_states, prev_bits = _trellis_tables(self.g0, self.g1, self.constraint_length)
+        return prev_states, prev_bits
 
 
 #: Module-level default encoder used by the convenience functions.
 _DEFAULT_ENCODER = ConvolutionalEncoder()
+
+
+def default_encoder() -> ConvolutionalEncoder:
+    """Return the shared default 802.11 encoder instance.
+
+    The encoder is stateless, so hot paths (codecs, decoders) reuse this
+    instance instead of constructing fresh tap arrays per call.
+    """
+    return _DEFAULT_ENCODER
 
 
 def conv_encode(bits: np.ndarray, terminate: bool = True) -> np.ndarray:

@@ -4,6 +4,13 @@ Supports hard-decision decoding (Hamming branch metrics on 0/1 inputs)
 and soft-decision decoding (correlation metrics on log-likelihood
 ratios).  Punctured positions are marked by erasure values and contribute
 zero branch metric.
+
+The decoder is fully vectorized: every branch metric of the frame is
+precomputed in one ``(n_steps, n_states, 2)`` array, and the
+add-compare-select recursion operates on whole state vectors per trellis
+step instead of iterating over states in Python.  The original readable
+per-state implementation is kept as :func:`_viterbi_decode_reference` and
+is asserted bit-exact against the vectorized decoder by the test suite.
 """
 
 from __future__ import annotations
@@ -11,7 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import DecodingError
-from repro.phy.coding.convolutional import ConvolutionalEncoder
+from repro.phy.coding.convolutional import ConvolutionalEncoder, default_encoder
 
 __all__ = ["viterbi_decode", "ERASURE"]
 
@@ -20,28 +27,41 @@ __all__ = ["viterbi_decode", "ERASURE"]
 ERASURE = np.nan
 
 
-def _branch_metrics_hard(received_pair: np.ndarray, outputs: np.ndarray) -> np.ndarray:
-    """Hamming distance between a received coded pair and each branch output."""
-    metrics = np.zeros(outputs.shape[:2])
-    for idx in range(2):
-        value = received_pair[idx]
-        if np.isnan(value):
-            continue
-        metrics += outputs[:, :, idx] != int(round(float(value)))
-    return metrics
+def _checked_pairs(
+    coded: np.ndarray,
+    n_data_bits: int,
+    encoder: ConvolutionalEncoder,
+    terminated: bool,
+) -> np.ndarray:
+    """Validate the coded stream and reshape it to ``(n_steps, 2)``."""
+    coded = np.asarray(coded, dtype=float)
+    if coded.size % 2 != 0:
+        raise DecodingError(f"coded length {coded.size} is not a multiple of 2")
+    n_steps = coded.size // 2
+    total_bits = n_data_bits + (encoder.tail_bits if terminated else 0)
+    if n_steps < total_bits:
+        raise DecodingError(
+            f"coded stream has {n_steps} steps but {total_bits} bits are expected"
+        )
+    return coded[: 2 * total_bits].reshape(total_bits, 2)
 
 
-def _branch_metrics_soft(received_pair: np.ndarray, outputs: np.ndarray) -> np.ndarray:
-    """Negative correlation metric for soft inputs (LLR > 0 means bit 0)."""
-    metrics = np.zeros(outputs.shape[:2])
-    for idx in range(2):
-        llr = received_pair[idx]
-        if np.isnan(llr):
-            continue
+def _branch_metrics(pairs: np.ndarray, outputs: np.ndarray, soft: bool) -> np.ndarray:
+    """All branch metrics of the frame, shape ``(n_steps, n_states, 2)``.
+
+    Erasures (NaN) are masked to zero before the metric sum, so punctured
+    positions contribute nothing in both the hard (Hamming) and the soft
+    (negative correlation) formulation.
+    """
+    valid = ~np.isnan(pairs)  # (n_steps, 2)
+    if soft:
+        llr = np.where(valid, pairs, 0.0)
         # Bit value 0 should be rewarded when llr > 0; bit 1 when llr < 0.
-        signs = 1.0 - 2.0 * outputs[:, :, idx]  # +1 for bit 0, -1 for bit 1
-        metrics += -signs * llr
-    return metrics
+        signs = 1.0 - 2.0 * outputs  # +1 for bit 0, -1 for bit 1
+        return -np.einsum("ti,sbi->tsb", llr, signs)
+    received = np.rint(np.where(valid, pairs, 0.0)).astype(np.int8)
+    mismatch = outputs[None, :, :, :] != received[:, None, None, :]
+    return np.einsum("tsbi,ti->tsb", mismatch, valid.astype(np.float64))
 
 
 def viterbi_decode(
@@ -69,17 +89,107 @@ def viterbi_decode(
         Whether the encoder appended tail bits (the decoder then forces
         the final state to zero).
     """
-    encoder = encoder or ConvolutionalEncoder()
-    coded = np.asarray(coded, dtype=float)
-    if coded.size % 2 != 0:
-        raise DecodingError(f"coded length {coded.size} is not a multiple of 2")
-    n_steps = coded.size // 2
-    total_bits = n_data_bits + (encoder.tail_bits if terminated else 0)
-    if n_steps < total_bits:
-        raise DecodingError(
-            f"coded stream has {n_steps} steps but {total_bits} bits are expected"
-        )
-    n_steps = total_bits
+    encoder = encoder or default_encoder()
+    pairs = _checked_pairs(coded, n_data_bits, encoder, terminated)
+    n_steps = pairs.shape[0]
+    n_states = encoder.n_states
+
+    _, outputs = encoder.transitions()
+    prev_states, prev_bits = encoder.predecessors()
+
+    branch = _branch_metrics(pairs, outputs, soft)
+    # Gather each state's two incoming branch metrics once for every step,
+    # so the recursion below only touches (n_states, 2) arrays.  The trellis
+    # has butterfly structure: the predecessors of state ``s`` are
+    # ``(2s, 2s + 1) mod n_states``, so the gathered path metrics of the
+    # lower and the upper half of the states are both exactly
+    # ``path_metric.reshape(n_half, 2)`` -- the add-compare-select step then
+    # needs no per-step index gather at all, only a broadcast add.
+    n_half = n_states // 2
+    incoming = branch[:, prev_states, prev_bits].reshape(n_steps, 2, n_half, 2)
+
+    path_metric = np.full(n_states, np.inf)
+    path_metric[0] = 0.0
+    next_metric = np.empty(n_states)
+    choices = np.empty((n_steps, n_states), dtype=bool)
+    choices_halved = choices.reshape(n_steps, 2, n_half)
+    candidates = np.empty((2, n_half, 2))
+    low, high = candidates[..., 0], candidates[..., 1]
+    # Pre-built ping-pong views so the loop body is three ufunc calls.
+    pairs_views = (path_metric.reshape(n_half, 2), next_metric.reshape(n_half, 2))
+    halved_views = (path_metric.reshape(2, n_half), next_metric.reshape(2, n_half))
+    for step in range(n_steps):
+        current = step & 1
+        np.add(incoming[step], pairs_views[current], out=candidates)
+        # Strict comparison keeps the first (lower-state) predecessor on
+        # ties, matching the reference decoder's scan order.
+        np.less(high, low, out=choices_halved[step])
+        np.minimum(low, high, out=halved_views[1 - current])
+    path_metric = (path_metric, next_metric)[n_steps & 1]
+
+    if terminated:
+        final_state = 0
+        if not np.isfinite(path_metric[0]):
+            final_state = int(np.argmin(path_metric))
+    else:
+        final_state = int(np.argmin(path_metric))
+
+    # Trace back.  Plain Python lists are faster than numpy scalar indexing
+    # for this strictly sequential walk.
+    prev_state_list = prev_states.tolist()
+    prev_bit_list = prev_bits.tolist()
+    choice_list = choices.tolist()
+    bits = np.empty(n_steps, dtype=np.int8)
+    state = final_state
+    for step in range(n_steps - 1, -1, -1):
+        j = 1 if choice_list[step][state] else 0
+        bits[step] = prev_bit_list[state][j]
+        state = prev_state_list[state][j]
+    return bits[:n_data_bits]
+
+
+# -- reference implementation ------------------------------------------------
+
+
+def _branch_metrics_hard(received_pair: np.ndarray, outputs: np.ndarray) -> np.ndarray:
+    """Hamming distance between a received coded pair and each branch output."""
+    metrics = np.zeros(outputs.shape[:2])
+    for idx in range(2):
+        value = received_pair[idx]
+        if np.isnan(value):
+            continue
+        metrics += outputs[:, :, idx] != int(round(float(value)))
+    return metrics
+
+
+def _branch_metrics_soft(received_pair: np.ndarray, outputs: np.ndarray) -> np.ndarray:
+    """Negative correlation metric for soft inputs (LLR > 0 means bit 0)."""
+    metrics = np.zeros(outputs.shape[:2])
+    for idx in range(2):
+        llr = received_pair[idx]
+        if np.isnan(llr):
+            continue
+        # Bit value 0 should be rewarded when llr > 0; bit 1 when llr < 0.
+        signs = 1.0 - 2.0 * outputs[:, :, idx]  # +1 for bit 0, -1 for bit 1
+        metrics += -signs * llr
+    return metrics
+
+
+def _viterbi_decode_reference(
+    coded: np.ndarray,
+    n_data_bits: int,
+    soft: bool = False,
+    encoder: ConvolutionalEncoder | None = None,
+    terminated: bool = True,
+) -> np.ndarray:
+    """Slow per-state reference decoder (the seed implementation).
+
+    Kept as the readable specification of the trellis recursion; the test
+    suite asserts :func:`viterbi_decode` agrees with it bit-exactly.
+    """
+    encoder = encoder or default_encoder()
+    pairs = _checked_pairs(coded, n_data_bits, encoder, terminated)
+    n_steps = pairs.shape[0]
 
     next_state, outputs = encoder.transitions()
     n_states = encoder.n_states
@@ -91,7 +201,6 @@ def viterbi_decode(
     decisions = np.zeros((n_steps, n_states), dtype=np.int8)
     predecessors = np.zeros((n_steps, n_states), dtype=np.int32)
 
-    pairs = coded[: 2 * n_steps].reshape(n_steps, 2)
     for step in range(n_steps):
         branch = metric_fn(pairs[step], outputs)
         new_metric = np.full(n_states, infinity)

@@ -12,6 +12,7 @@ The numerology follows 802.11a/g: a 64-point FFT, 48 data subcarriers,
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Tuple
 
 import numpy as np
@@ -51,16 +52,30 @@ class OfdmConfig:
     pilot_indices: Tuple[int, ...] = PILOT_SUBCARRIER_INDICES
     null_indices: Tuple[int, ...] = NULL_SUBCARRIER_INDICES
 
-    @property
+    @cached_property
     def data_indices(self) -> Tuple[int, ...]:
-        """FFT bins carrying data symbols."""
+        """FFT bins carrying data symbols (computed once per config)."""
         reserved = set(self.pilot_indices) | set(self.null_indices)
         return tuple(i for i in range(self.fft_size) if i not in reserved)
 
-    @property
+    @cached_property
     def n_data_subcarriers(self) -> int:
         """Number of data subcarriers per OFDM symbol."""
         return len(self.data_indices)
+
+    @cached_property
+    def data_index_array(self) -> np.ndarray:
+        """:attr:`data_indices` as a read-only index array for hot paths."""
+        array = np.array(self.data_indices, dtype=np.intp)
+        array.setflags(write=False)
+        return array
+
+    @cached_property
+    def pilot_index_array(self) -> np.ndarray:
+        """:attr:`pilot_indices` as a read-only index array for hot paths."""
+        array = np.array(self.pilot_indices, dtype=np.intp)
+        array.setflags(write=False)
+        return array
 
     @property
     def samples_per_symbol(self) -> int:
@@ -101,8 +116,8 @@ class OfdmModem:
             )
         n_symbols = data_symbols.size // n_data
         grid = np.zeros((n_symbols, cfg.fft_size), dtype=complex)
-        grid[:, list(cfg.data_indices)] = data_symbols.reshape(n_symbols, n_data)
-        grid[:, list(cfg.pilot_indices)] = _PILOT_VALUES[: len(cfg.pilot_indices)]
+        grid[:, cfg.data_index_array] = data_symbols.reshape(n_symbols, n_data)
+        grid[:, cfg.pilot_index_array] = _PILOT_VALUES[: len(cfg.pilot_indices)]
         return self.modulate_grid(grid)
 
     def modulate_grid(self, grid: np.ndarray) -> np.ndarray:
@@ -145,7 +160,7 @@ class OfdmModem:
     def demodulate(self, samples: np.ndarray) -> np.ndarray:
         """Return the data-subcarrier symbols from time-domain samples."""
         grid = self.demodulate_grid(samples)
-        return grid[:, list(self.config.data_indices)].reshape(-1)
+        return grid[:, self.config.data_index_array].reshape(-1)
 
     # -- helpers -------------------------------------------------------------
 

@@ -58,23 +58,33 @@ class StreamConfig:
     precoder: np.ndarray
     stream_id: int = 0
 
-    def precoder_at(self, subcarrier: int, n_antennas: int, fft_size: int) -> np.ndarray:
-        """Return the pre-coding vector used on ``subcarrier``."""
+    def precoder_matrix(self, n_antennas: int, fft_size: int) -> np.ndarray:
+        """Return the stacked ``(fft_size, n_antennas)`` pre-coder array.
+
+        A flat (per-frame) pre-coder is broadcast across all subcarriers;
+        the returned array may therefore be a read-only broadcast view.
+        """
         precoder = np.asarray(self.precoder, dtype=complex)
         if precoder.ndim == 1:
-            vector = precoder
-        elif precoder.ndim == 2 and precoder.shape[0] == fft_size:
-            vector = precoder[subcarrier]
-        else:
+            if precoder.size != n_antennas:
+                raise DimensionError(
+                    f"precoder length {precoder.size} does not match antenna count {n_antennas}"
+                )
+            return np.broadcast_to(precoder, (fft_size, n_antennas))
+        if precoder.ndim != 2 or precoder.shape[0] != fft_size:
             raise DimensionError(
                 f"precoder must have shape ({n_antennas},) or ({fft_size}, {n_antennas}), "
                 f"got {precoder.shape}"
             )
-        if vector.size != n_antennas:
+        if precoder.shape[1] != n_antennas:
             raise DimensionError(
-                f"precoder length {vector.size} does not match antenna count {n_antennas}"
+                f"precoder length {precoder.shape[1]} does not match antenna count {n_antennas}"
             )
-        return vector
+        return precoder
+
+    def precoder_at(self, subcarrier: int, n_antennas: int, fft_size: int) -> np.ndarray:
+        """Return the pre-coding vector used on ``subcarrier``."""
+        return self.precoder_matrix(n_antennas, fft_size)[subcarrier]
 
 
 @dataclass
@@ -189,17 +199,18 @@ class MimoTransmitter:
                 pad = np.zeros(total_needed - symbols.size, dtype=complex)
                 symbols = np.concatenate([symbols, pad])
             grid = np.zeros((n_symbols, cfg.fft_size), dtype=complex)
-            grid[:, list(cfg.data_indices)] = symbols.reshape(n_symbols, per_symbol)
-            pilot_cols = list(cfg.pilot_indices)
-            grid[:, pilot_cols] = 1.0
+            grid[:, cfg.data_index_array] = symbols.reshape(n_symbols, per_symbol)
+            grid[:, cfg.pilot_index_array] = 1.0
             stream_grids.append(grid)
 
-        # Apply per-subcarrier pre-coding and sum streams per antenna.
-        antenna_grids = np.zeros((self.n_antennas, n_symbols, cfg.fft_size), dtype=complex)
-        for stream, grid in zip(streams, stream_grids):
-            for subcarrier in range(cfg.fft_size):
-                vector = stream.precoder_at(subcarrier, self.n_antennas, cfg.fft_size)
-                antenna_grids[:, :, subcarrier] += np.outer(vector, grid[:, subcarrier])
+        # Apply per-subcarrier pre-coding and sum streams per antenna: one
+        # einsum over the stacked (stream, fft, antenna) pre-coder array
+        # replaces the per-subcarrier outer-product loop.
+        grids = np.stack(stream_grids)  # (n_streams, n_symbols, fft_size)
+        precoders = np.stack(
+            [s.precoder_matrix(self.n_antennas, cfg.fft_size) for s in streams]
+        )  # (n_streams, fft_size, n_antennas)
+        antenna_grids = np.einsum("pka,psk->ask", precoders, grids)
 
         body = np.stack(
             [self._modem.modulate_grid(antenna_grids[a]) for a in range(self.n_antennas)]
@@ -237,21 +248,22 @@ class MimoTransmitter:
             first_vector = first_vector / norm
         out[:, : len(stf)] += np.outer(first_vector, stf)
 
-        # LTF slots: stream i's LTF, pre-coded per subcarrier.
+        # LTF slots: stream i's LTF, pre-coded per subcarrier.  Bins the LTF
+        # does not occupy have a zero reference value, so the broadcast
+        # product leaves them empty without an explicit skip.
         modem = self._modem
         reference = ltf_frequency_sequence(cfg)
         from repro.constants import NUM_LONG_TRAINING_SYMBOLS
 
         for position, stream in enumerate(streams):
             start, end = preamble.ltf_slot_bounds(position)
-            grid = np.zeros((NUM_LONG_TRAINING_SYMBOLS, cfg.fft_size, self.n_antennas), dtype=complex)
-            for subcarrier in range(cfg.fft_size):
-                if reference[subcarrier] == 0:
-                    continue
-                vector = stream.precoder_at(subcarrier, self.n_antennas, cfg.fft_size)
-                grid[:, subcarrier, :] = reference[subcarrier] * vector
+            matrix = stream.precoder_matrix(self.n_antennas, cfg.fft_size)
+            precoded = reference[:, None] * matrix  # (fft_size, n_antennas)
+            slots = np.broadcast_to(
+                precoded, (NUM_LONG_TRAINING_SYMBOLS,) + precoded.shape
+            )
             for antenna in range(self.n_antennas):
-                out[antenna, start:end] = modem.modulate_grid(grid[:, :, antenna])
+                out[antenna, start:end] = modem.modulate_grid(slots[:, :, antenna])
         return out
 
 
@@ -328,19 +340,15 @@ class MimoReceiver:
             [self._modem.demodulate_grid(samples[a, body_start:body_end]) for a in range(samples.shape[0])]
         )  # (n_rx, n_symbols, fft_size)
 
-        n_streams = layout.n_streams
-        data_indices = list(cfg.data_indices)
-        equalised = np.zeros((n_streams, layout.n_body_symbols, len(data_indices)), dtype=complex)
-        post_noise = np.zeros((n_streams, len(data_indices)))
-        for column, subcarrier in enumerate(data_indices):
-            h = estimate.at(subcarrier)  # (n_rx, n_streams)
-            y = grids[:, :, subcarrier]  # (n_rx, n_symbols)
-            h_pinv = np.linalg.pinv(h)
-            x_hat = h_pinv @ y  # (n_streams, n_symbols)
-            equalised[:, :, column] = x_hat
-            # Noise enhancement of the ZF equaliser per stream.
-            enhancement = np.sum(np.abs(h_pinv) ** 2, axis=1)
-            post_noise[:, column] = noise_power * enhancement
+        data_idx = cfg.data_index_array
+        # Batched zero forcing: one stacked pseudo-inverse over all data
+        # subcarriers instead of a per-subcarrier Python loop.
+        h = estimate.matrices[data_idx]  # (n_data, n_rx, n_streams)
+        y = grids[:, :, data_idx].transpose(2, 0, 1)  # (n_data, n_rx, n_symbols)
+        h_pinv = np.linalg.pinv(h)  # (n_data, n_streams, n_rx)
+        equalised = (h_pinv @ y).transpose(1, 2, 0)  # (n_streams, n_symbols, n_data)
+        # Noise enhancement of the ZF equaliser per stream.
+        post_noise = noise_power * np.sum(np.abs(h_pinv) ** 2, axis=2).T
 
         results: Dict[int, DecodedStream] = {}
         for position, stream_id in enumerate(layout.stream_ids):

@@ -25,6 +25,11 @@ know about it:
 * a stream that appeared later *without* protecting this receiver (a
   secondary-contention collision) is untreatable interference and is
   counted at full power.
+
+All per-subcarrier quantities are computed as stacked ``(n_sub, ...)``
+arrays through batched ``np.linalg`` operations; the readable
+per-subcarrier formulations are kept as ``_*_reference`` functions and
+asserted equivalent by the test suite.
 """
 
 from __future__ import annotations
@@ -33,13 +38,15 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.mimo.decoder import post_projection_snr_db
+from repro.mimo.decoder import post_projection_snr_db_batch
 from repro.mimo.dof import InterferenceStrategy
 from repro.sim.medium import ScheduledStream
+from repro.utils.linalg import singular_value_ranks
 
 __all__ = [
     "receiver_stream_snrs",
     "unprotected_interference_power",
+    "unprotected_interference_power_batch",
     "interference_directions_at",
     "announced_decoding_subspace",
 ]
@@ -59,11 +66,25 @@ def unprotected_interference_power(
     return float(stream.power * np.sum(np.abs(h) ** 2) / (n_rx * n_tx))
 
 
+def unprotected_interference_power_batch(
+    channel: np.ndarray, stream: ScheduledStream
+) -> np.ndarray:
+    """:func:`unprotected_interference_power` on every subcarrier at once."""
+    n_rx, n_tx = channel.shape[1:]
+    return stream.power * np.sum(np.abs(channel) ** 2, axis=(1, 2)) / (n_rx * n_tx)
+
+
 def _effective_column(channel: np.ndarray, stream: ScheduledStream, subcarrier: int) -> np.ndarray:
     """The effective (power-scaled) channel column of a stream at a receiver."""
     h = channel[subcarrier]
     precoder = stream.precoders[subcarrier]
     return np.sqrt(stream.power) * (h @ precoder)
+
+
+def _effective_columns(channel: np.ndarray, stream: ScheduledStream) -> np.ndarray:
+    """The effective channel column of a stream on every subcarrier,
+    shape ``(n_sub, N)``."""
+    return np.sqrt(stream.power) * np.einsum("knm,km->kn", channel, stream.precoders)
 
 
 def interference_directions_at(
@@ -81,9 +102,23 @@ def interference_directions_at(
     out = np.zeros((n_sub, n_rx, len(streams)), dtype=complex)
     for index, stream in enumerate(streams):
         channel = network.true_channel(stream.transmitter_id, receiver_id)
-        for k in range(n_sub):
-            out[k, :, index] = _effective_column(channel, stream, k)
+        out[:, :, index] = _effective_columns(channel, stream)
     return out
+
+
+def _uniform_orthonormal_basis(stack: np.ndarray):
+    """Batched :func:`repro.utils.linalg.orthonormal_basis` over a stack.
+
+    Returns ``(bases, True)`` with shape ``(batch, n, rank)`` when every
+    matrix in the stack has the same rank, else ``(None, False)`` so the
+    caller can fall back to the per-matrix path.
+    """
+    u, s, _ = np.linalg.svd(stack, full_matrices=False)
+    ranks = singular_value_ranks(s)
+    rank = int(ranks[0])
+    if not np.all(ranks == rank):
+        return None, False
+    return u[:, :, :rank], True
 
 
 def announced_decoding_subspace(
@@ -102,19 +137,45 @@ def announced_decoding_subspace(
 
     Returns an array of shape ``(n_subcarriers, N, n_wanted)``.
     """
-    from repro.utils.linalg import orthonormal_basis, project_out_subspace
-
     wanted = list(wanted_streams)
-    n_sub = network.n_subcarriers
-    n_rx = network.station(receiver_id).n_antennas
     n_wanted = len(wanted)
-    out = np.zeros((n_sub, n_rx, n_wanted), dtype=complex)
     wanted_dirs = interference_directions_at(network, receiver_id, wanted)
     interference_dirs = (
         interference_directions_at(network, receiver_id, interference_streams)
         if interference_streams
         else None
     )
+
+    columns = wanted_dirs
+    if interference_dirs is not None and interference_dirs.shape[2]:
+        ortho, uniform = _uniform_orthonormal_basis(interference_dirs)
+        if not uniform:
+            return _announced_subspace_reference(wanted_dirs, interference_dirs, n_wanted)
+        columns = columns - ortho @ (ortho.conj().transpose(0, 2, 1) @ columns)
+
+    u, s, _ = np.linalg.svd(columns, full_matrices=False)
+    ranks = singular_value_ranks(s)
+    if not np.all(ranks == n_wanted):
+        # Degenerate channel on some subcarrier: take the readable path,
+        # which pads with arbitrary orthonormal directions.
+        return _announced_subspace_reference(wanted_dirs, interference_dirs, n_wanted)
+    return u[:, :, :n_wanted]
+
+
+def _announced_subspace_reference(
+    wanted_dirs: np.ndarray,
+    interference_dirs: Optional[np.ndarray],
+    n_wanted: int,
+) -> np.ndarray:
+    """Per-subcarrier reference formulation of the announced subspace."""
+    from repro.utils.linalg import (
+        orthonormal_basis,
+        orthonormal_complement,
+        project_out_subspace,
+    )
+
+    n_sub, n_rx, _ = wanted_dirs.shape
+    out = np.zeros((n_sub, n_rx, n_wanted), dtype=complex)
     for k in range(n_sub):
         columns = wanted_dirs[k]
         if interference_dirs is not None and interference_dirs.shape[2]:
@@ -124,8 +185,6 @@ def announced_decoding_subspace(
         if basis.shape[1] < n_wanted:
             # Degenerate channel: pad with arbitrary orthonormal directions
             # so downstream shapes stay consistent.
-            from repro.utils.linalg import orthonormal_complement
-
             filler = orthonormal_complement(basis)
             missing = n_wanted - basis.shape[1]
             out[k, :, basis.shape[1] : n_wanted] = filler[:, :missing]
@@ -196,43 +255,52 @@ def receiver_stream_snrs(
         else:
             raw_streams.append(stream)
 
-    snrs: Dict[int, List[float]] = {s.stream_id: [] for s in wanted}
-    for k in range(n_sub):
-        wanted_matrix = np.stack(
-            [_effective_column(channels[s.transmitter_id], s, k) for s in wanted], axis=1
+    wanted_matrix = np.stack(
+        [_effective_columns(channels[s.transmitter_id], s) for s in wanted], axis=2
+    )  # (n_sub, N, n_wanted)
+    interference = (
+        np.stack(
+            [_effective_columns(channels[s.transmitter_id], s) for s in projection_streams],
+            axis=2,
         )
-        if projection_streams:
-            interference = np.stack(
-                [
-                    _effective_column(channels[s.transmitter_id], s, k)
-                    for s in projection_streams
-                ],
-                axis=1,
-            )
-        else:
-            interference = None
+        if projection_streams
+        else None
+    )
 
-        residual_power = 0.0
-        for stream in residual_streams:
+    residual_power = np.zeros(n_sub)
+    if residual_streams:
+        # One draw per (subcarrier, stream) in row-major order, matching the
+        # draw order of the per-subcarrier loop so seeded runs reproduce.
+        jitter = (
+            network.hardware.draw_suppression_jitter(
+                rng, size=(n_sub, len(residual_streams))
+            )
+            if rng is not None
+            else None
+        )
+        for index, stream in enumerate(residual_streams):
             strategy = stream.protected_receivers.get(receiver_id, InterferenceStrategy.NULL)
-            unprotected = unprotected_interference_power(
-                channels[stream.transmitter_id], stream, k
+            unprotected = unprotected_interference_power_batch(
+                channels[stream.transmitter_id], stream
             )
-            residual_power += network.hardware.residual_interference_power(
-                unprotected, aligned=strategy is InterferenceStrategy.ALIGN, rng=rng
+            residual_power += network.hardware.residual_interference_power_batch(
+                unprotected,
+                aligned=strategy is InterferenceStrategy.ALIGN,
+                suppression_jitter_db=None if jitter is None else jitter[:, index],
             )
-        for stream in raw_streams:
-            residual_power += unprotected_interference_power(
-                channels[stream.transmitter_id], stream, k
-            )
-
-        per_stream = post_projection_snr_db(
-            wanted_matrix,
-            interference,
-            noise_power=noise,
-            signal_power=1.0,
-            residual_interference_power=residual_power,
+    for stream in raw_streams:
+        residual_power += unprotected_interference_power_batch(
+            channels[stream.transmitter_id], stream
         )
-        for index, stream in enumerate(wanted):
-            snrs[stream.stream_id].append(float(per_stream[index]))
-    return {stream_id: np.asarray(values) for stream_id, values in snrs.items()}
+
+    per_stream_db = post_projection_snr_db_batch(
+        wanted_matrix,
+        interference,
+        noise_power=noise,
+        signal_power=1.0,
+        residual_interference_power=residual_power,
+    )  # (n_sub, n_wanted)
+    return {
+        stream.stream_id: np.ascontiguousarray(per_stream_db[:, index])
+        for index, stream in enumerate(wanted)
+    }

@@ -19,8 +19,11 @@ from repro.exceptions import DimensionError
 
 __all__ = [
     "null_space",
+    "null_space_batch",
     "orthonormal_basis",
     "orthonormal_complement",
+    "orthonormal_complement_batch",
+    "singular_value_ranks",
     "project_onto_subspace",
     "project_out_subspace",
     "projection_matrix",
@@ -73,6 +76,117 @@ def null_space(matrix: np.ndarray, rcond: float = DEFAULT_RCOND) -> np.ndarray:
     tol = rcond * (s[0] if s.size else 0.0)
     rank = int(np.sum(s > tol))
     return vh[rank:].conj().T
+
+
+def singular_value_ranks(
+    singular_values: np.ndarray, rcond: float = DEFAULT_RCOND
+) -> np.ndarray:
+    """Numerical ranks of a stack of matrices from their singular values.
+
+    ``singular_values`` has shape ``(batch, n_sv)`` (as returned by a
+    batched SVD); the tolerance is ``rcond * s_max`` per matrix, matching
+    the single-matrix functions above so batched fast paths and their
+    per-matrix fallbacks always agree on rank.
+    """
+    s = np.asarray(singular_values)
+    tol = rcond * s[:, :1]
+    return np.sum(s > tol, axis=1)
+
+
+def null_space_batch(
+    matrices: np.ndarray, n_vectors: int, rcond: float = DEFAULT_RCOND
+) -> np.ndarray:
+    """Null-space bases of a stack of matrices in one batched SVD.
+
+    The per-subcarrier pre-coding math repeats :func:`null_space` once per
+    OFDM subcarrier; this helper performs the whole stack at once.
+
+    Parameters
+    ----------
+    matrices:
+        Complex array of shape ``(batch, rows, cols)``.
+    n_vectors:
+        How many null-space directions to return per matrix.  Each matrix
+        must have a null space of at least this dimension.
+    rcond:
+        Rank tolerance, as in :func:`null_space`.
+
+    Returns
+    -------
+    numpy.ndarray
+        Shape ``(batch, cols, n_vectors)``: per matrix, the first
+        ``n_vectors`` columns that :func:`null_space` would return.
+
+    Raises
+    ------
+    DimensionError
+        If any matrix in the stack has a null space thinner than
+        ``n_vectors``.
+    """
+    a = np.asarray(matrices, dtype=complex)
+    if a.ndim != 3:
+        raise DimensionError(f"expected a stack of matrices, got shape {a.shape}")
+    batch, rows, cols = a.shape
+    if n_vectors < 0 or n_vectors > cols:
+        raise DimensionError(f"cannot take {n_vectors} null-space vectors in dimension {cols}")
+    if rows == 0:
+        eye = np.eye(cols, dtype=complex)[:, :n_vectors]
+        return np.broadcast_to(eye, (batch, cols, n_vectors)).copy()
+    _, s, vh = np.linalg.svd(a, full_matrices=True)
+    ranks = singular_value_ranks(s, rcond)
+    if np.any(ranks + n_vectors > cols):
+        raise DimensionError(
+            f"a matrix in the stack has a null space of dimension smaller than {n_vectors}"
+        )
+    # Gather rows ``rank .. rank + n_vectors`` of each V^H, even when the
+    # ranks differ across the stack.
+    row_idx = ranks[:, None] + np.arange(n_vectors)[None, :]
+    selected = vh[np.arange(batch)[:, None], row_idx, :]  # (batch, n_vectors, cols)
+    return selected.conj().transpose(0, 2, 1)
+
+
+def orthonormal_complement_batch(
+    matrices: np.ndarray, n_vectors: int, rcond: float = DEFAULT_RCOND
+) -> np.ndarray:
+    """Orthonormal-complement bases of a stack of matrices at once.
+
+    Parameters
+    ----------
+    matrices:
+        Complex array of shape ``(batch, n, k)``.
+    n_vectors:
+        Number of complement directions to return per matrix.
+
+    Returns
+    -------
+    numpy.ndarray
+        Shape ``(batch, n, n_vectors)``: per matrix, the first
+        ``n_vectors`` columns that :func:`orthonormal_complement` would
+        return.
+
+    Raises
+    ------
+    DimensionError
+        If any matrix's complement has fewer than ``n_vectors`` dimensions.
+    """
+    a = np.asarray(matrices, dtype=complex)
+    if a.ndim != 3:
+        raise DimensionError(f"expected a stack of matrices, got shape {a.shape}")
+    batch, n, k = a.shape
+    if n_vectors < 0 or n_vectors > n:
+        raise DimensionError(f"cannot take {n_vectors} complement vectors in dimension {n}")
+    if k == 0:
+        eye = np.eye(n, dtype=complex)[:, :n_vectors]
+        return np.broadcast_to(eye, (batch, n, n_vectors)).copy()
+    u, s, _ = np.linalg.svd(a, full_matrices=True)
+    ranks = singular_value_ranks(s, rcond)
+    if np.any(ranks + n_vectors > n):
+        raise DimensionError(
+            f"a matrix in the stack has an orthogonal complement thinner than {n_vectors}"
+        )
+    col_idx = ranks[:, None] + np.arange(n_vectors)[None, :]
+    selected = u[np.arange(batch)[:, None], :, col_idx]  # (batch, n_vectors, n)
+    return selected.transpose(0, 2, 1)
 
 
 def orthonormal_basis(matrix: np.ndarray, rcond: float = DEFAULT_RCOND) -> np.ndarray:

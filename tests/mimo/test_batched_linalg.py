@@ -1,0 +1,124 @@
+"""Equivalence of the batched (stacked, per-subcarrier) linear algebra
+against the per-matrix reference functions it replaces in the hot paths."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionError
+from repro.mimo.decoder import post_projection_snr, post_projection_snr_batch
+from repro.utils.linalg import (
+    null_space,
+    null_space_batch,
+    orthonormal_complement,
+    orthonormal_complement_batch,
+)
+
+N_SUB = 12
+
+
+def _stack(rng, n_sub, rows, cols):
+    return rng.standard_normal((n_sub, rows, cols)) + 1j * rng.standard_normal(
+        (n_sub, rows, cols)
+    )
+
+
+class TestNullSpaceBatch:
+    def test_matches_per_matrix_null_space(self, rng):
+        stack = _stack(rng, N_SUB, 2, 4)
+        batched = null_space_batch(stack, 2)
+        for k in range(N_SUB):
+            reference = null_space(stack[k])[:, :2]
+            assert np.allclose(batched[k], reference)
+
+    def test_empty_constraints_give_identity(self, rng):
+        stack = np.zeros((N_SUB, 0, 3), dtype=complex)
+        batched = null_space_batch(stack, 2)
+        assert np.allclose(batched, np.broadcast_to(np.eye(3)[:, :2], (N_SUB, 3, 2)))
+
+    def test_mixed_ranks_across_the_stack(self, rng):
+        # One subcarrier's constraints are rank deficient (duplicated row);
+        # the gather must still pick the right null-space columns per entry.
+        stack = _stack(rng, N_SUB, 2, 4)
+        stack[3, 1] = stack[3, 0]
+        batched = null_space_batch(stack, 2)
+        for k in range(N_SUB):
+            reference = null_space(stack[k])[:, :2]
+            assert np.allclose(batched[k], reference)
+
+    def test_too_thin_null_space_raises(self, rng):
+        stack = _stack(rng, N_SUB, 3, 4)
+        with pytest.raises(DimensionError):
+            null_space_batch(stack, 2)
+
+    def test_vectors_annihilate_constraints(self, rng):
+        stack = _stack(rng, N_SUB, 2, 5)
+        batched = null_space_batch(stack, 3)
+        assert np.allclose(stack @ batched, 0, atol=1e-10)
+
+
+class TestOrthonormalComplementBatch:
+    def test_matches_per_matrix_complement(self, rng):
+        stack = _stack(rng, N_SUB, 4, 2)
+        batched = orthonormal_complement_batch(stack, 2)
+        for k in range(N_SUB):
+            reference = orthonormal_complement(stack[k])[:, :2]
+            assert np.allclose(batched[k], reference)
+
+    def test_mixed_ranks_across_the_stack(self, rng):
+        stack = _stack(rng, N_SUB, 4, 2)
+        stack[5, :, 1] = stack[5, :, 0]
+        batched = orthonormal_complement_batch(stack, 2)
+        for k in range(N_SUB):
+            reference = orthonormal_complement(stack[k])[:, :2]
+            assert np.allclose(batched[k], reference)
+
+    def test_empty_directions_give_identity(self):
+        stack = np.zeros((N_SUB, 3, 0), dtype=complex)
+        batched = orthonormal_complement_batch(stack, 3)
+        assert np.allclose(batched, np.broadcast_to(np.eye(3), (N_SUB, 3, 3)))
+
+    def test_columns_are_orthogonal_to_input(self, rng):
+        stack = _stack(rng, N_SUB, 4, 1)
+        batched = orthonormal_complement_batch(stack, 3)
+        assert np.allclose(stack.conj().transpose(0, 2, 1) @ batched, 0, atol=1e-10)
+
+
+class TestPostProjectionSnrBatch:
+    def test_matches_per_subcarrier_snr(self, rng):
+        wanted = _stack(rng, N_SUB, 3, 2)
+        interference = _stack(rng, N_SUB, 3, 1)
+        residual = rng.random(N_SUB)
+        batched = post_projection_snr_batch(
+            wanted, interference, noise_power=0.1, signal_power=2.0,
+            residual_interference_power=residual,
+        )
+        for k in range(N_SUB):
+            reference = post_projection_snr(
+                wanted[k], interference[k], 0.1, 2.0, float(residual[k])
+            )
+            assert np.allclose(batched[k], reference)
+
+    def test_no_interference_matches(self, rng):
+        wanted = _stack(rng, N_SUB, 3, 3)
+        batched = post_projection_snr_batch(wanted, None, noise_power=0.05)
+        for k in range(N_SUB):
+            assert np.allclose(batched[k], post_projection_snr(wanted[k], None, 0.05))
+
+    def test_overloaded_receiver_gets_zero_snr(self, rng):
+        # Interference consumes all but one dimension; two wanted streams
+        # cannot be separated and the reference returns zeros.
+        wanted = _stack(rng, N_SUB, 2, 2)
+        interference = _stack(rng, N_SUB, 2, 1)
+        batched = post_projection_snr_batch(wanted, interference, noise_power=0.1)
+        assert np.allclose(batched, 0.0)
+
+    def test_degenerate_rank_falls_back_per_subcarrier(self, rng):
+        wanted = _stack(rng, N_SUB, 3, 1)
+        interference = _stack(rng, N_SUB, 3, 2)
+        interference[4, :, 1] = interference[4, :, 0]  # non-uniform rank
+        batched = post_projection_snr_batch(wanted, interference, noise_power=0.2)
+        for k in range(N_SUB):
+            reference = post_projection_snr(wanted[k], interference[k], 0.2)
+            assert np.allclose(batched[k], reference)
