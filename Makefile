@@ -1,0 +1,23 @@
+# Convenience targets; everything also works as the plain commands in
+# the README (the docs-check target verifies exactly that).
+
+PYTHON ?= python
+export PYTHONPATH := src:$(PYTHONPATH)
+
+.PHONY: test docs-check examples bench bench-baseline
+
+test:
+	$(PYTHON) -m pytest -q
+
+# Fails when README/ARCHITECTURE code blocks or the examples go stale.
+docs-check:
+	$(PYTHON) -m pytest -q tests/test_docs.py tests/test_examples_smoke.py
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done
+
+bench:
+	$(PYTHON) benchmarks/run_all.py --compare
+
+bench-baseline:
+	$(PYTHON) benchmarks/run_all.py

@@ -20,20 +20,28 @@ Run it with::
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from repro.experiments.report import format_table
 from repro.sim.runner import SimulationConfig, run_simulation
 from repro.sim.scenarios import three_pair_scenario
 
+#: Set REPRO_QUICK=1 to shrink the sweep for smoke testing.
+QUICK = bool(os.environ.get("REPRO_QUICK"))
+
 #: Per-flow Poisson arrival rates to sweep (packets per second of 1500 B).
-RATES_PPS = (50, 150, 400, 900)
+RATES_PPS = (50, 400) if QUICK else (50, 150, 400, 900)
 
 #: Simulated time per run.
-DURATION_US = 80_000.0
+DURATION_US = 30_000.0 if QUICK else 80_000.0
+
+#: Seeds averaged per (protocol, rate) cell.
+SEEDS = (5,) if QUICK else (5, 6, 7)
 
 
-def delivered_throughput(protocol: str, rate_pps: float, seeds=(5, 6, 7)) -> float:
+def delivered_throughput(protocol: str, rate_pps: float, seeds=SEEDS) -> float:
     """Average delivered throughput (Mb/s) for one protocol at one load."""
     config = SimulationConfig(
         duration_us=DURATION_US,
@@ -49,15 +57,22 @@ def delivered_throughput(protocol: str, rate_pps: float, seeds=(5, 6, 7)) -> flo
 
 def main() -> None:
     rows = []
+    delivered = {}
     for rate_pps in RATES_PPS:
         offered_mbps = 3 * rate_pps * 12_000 / 1e6  # three flows of 1500-byte packets
         row = [f"{offered_mbps:.1f}"]
         for protocol in ("802.11n", "n+"):
-            row.append(f"{delivered_throughput(protocol, rate_pps):.1f}")
+            delivered[(protocol, rate_pps)] = delivered_throughput(protocol, rate_pps)
+            row.append(f"{delivered[(protocol, rate_pps)]:.1f}")
         rows.append(row)
 
     print("Offered vs delivered throughput (Mb/s), three-pair scenario, Poisson arrivals:")
     print(format_table(["offered (all flows)", "802.11n delivers", "n+ delivers"], rows))
+    assert all(value > 0.0 for value in delivered.values()), "every load level should deliver traffic"
+    heaviest = max(RATES_PPS)
+    assert (
+        delivered[("n+", heaviest)] >= 0.8 * delivered[("802.11n", heaviest)]
+    ), "n+ should at least keep up with 802.11n under heavy load"
     print(
         "\nAt light load both protocols keep up with the offered load and n+ behaves "
         "exactly like 802.11n (packets rarely overlap, so there is nothing to join). "

@@ -14,10 +14,15 @@ Run it with::
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from repro.experiments.fig9_carrier_sense import run_carrier_sense_experiment, summarize
 from repro.sim.metrics import empirical_cdf
+
+#: Set REPRO_QUICK=1 to shrink the run for smoke testing.
+QUICK = bool(os.environ.get("REPRO_QUICK"))
 
 
 def ascii_plot(values, width: int = 60, label: str = "") -> None:
@@ -32,8 +37,12 @@ def ascii_plot(values, width: int = 60, label: str = "") -> None:
 
 
 def main() -> None:
-    result = run_carrier_sense_experiment(n_trials=25, seed=3)
+    result = run_carrier_sense_experiment(n_trials=8 if QUICK else 25, seed=3)
     print(summarize(result))
+    assert (
+        result.power_jump_db_with_projection
+        > result.power_jump_db_without_projection + 3.0
+    ), "projecting out tx1 should reveal tx2's arrival"
 
     print("\nCorrelation CDFs at low SNR (tx2 at ~3 dB):")
     for kind in ("raw", "projected"):

@@ -15,18 +15,23 @@ Run it with::
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from repro.experiments.report import format_cdf_summary, format_table
 from repro.sim.runner import SimulationConfig, run_many
 from repro.sim.scenarios import heterogeneous_ap_scenario
 
-N_RUNS = 5
+#: Set REPRO_QUICK=1 to shrink the sweep for smoke testing.
+QUICK = bool(os.environ.get("REPRO_QUICK"))
+
+N_RUNS = 2 if QUICK else 5
 PROTOCOLS = ("802.11n", "beamforming", "n+")
 
 
 def main() -> None:
-    config = SimulationConfig(duration_us=80_000.0, n_subcarriers=8)
+    config = SimulationConfig(duration_us=20_000.0 if QUICK else 80_000.0, n_subcarriers=8)
     results = run_many(
         heterogeneous_ap_scenario, list(PROTOCOLS), n_runs=N_RUNS, seed=2, config=config
     )
@@ -42,6 +47,11 @@ def main() -> None:
         )
     print("Average throughput over", N_RUNS, "random placements (Mb/s):")
     print(format_table(["protocol", "c1->AP1 uplink", "AP2 downlink", "total"], rows))
+    totals = {
+        protocol: np.mean([m.total_throughput_mbps() for m in results[protocol]])
+        for protocol in PROTOCOLS
+    }
+    assert all(value > 0.0 for value in totals.values()), "every protocol should deliver traffic"
 
     print("\nPer-run gain of n+ (the quantity plotted in Fig. 13):")
     for baseline in ("802.11n", "beamforming"):

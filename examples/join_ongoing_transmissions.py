@@ -67,6 +67,7 @@ def scenario_a(network, agents):
     """Fig. 5(a): tx3 wins and uses all three degrees of freedom."""
     medium = Medium()
     medium.add_streams(agents[4].plan_initial(100.0, medium))
+    assert medium.used_degrees_of_freedom == 3, "tx3 alone should use all three DoF"
     describe_streams(network, medium, "Fig. 5(a): tx3-rx3 wins alone, three streams")
 
 
@@ -100,6 +101,7 @@ def scenario_d(network, agents):
     join3 = agents[4].plan_join(700.0, medium)
     if join3:
         medium.add_streams(join3)
+    assert medium.used_degrees_of_freedom >= 1, "at least the first winner is on the air"
     describe_streams(network, medium, "Fig. 5(d): all three links share the medium")
 
 

@@ -14,11 +14,20 @@ The script walks through the paper's Fig. 2 example end to end:
 Run it with::
 
     python examples/quickstart.py
+
+Every step asserts its own claim, so the script doubles as a headless
+smoke test (the suite runs it with ``REPRO_QUICK=1``, which shrinks the
+simulated durations).
 """
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
+
+#: Set REPRO_QUICK=1 to shrink the run for smoke testing.
+QUICK = bool(os.environ.get("REPRO_QUICK"))
 
 from repro.channel.models import complex_gaussian
 from repro.mimo.carrier_sense import MultiDimensionalCarrierSense
@@ -43,9 +52,10 @@ def nulling_example(rng: np.random.Generator) -> None:
     precoder = compute_precoders(2, [ReceiverConstraint(channel=h_tx2_rx1)])[0]
     leak_at_rx1 = np.abs(h_tx2_rx1 @ precoder)[0]
     print(f"interference tx2 leaves at rx1 : {linear_to_db(leak_at_rx1 ** 2):7.1f} dB (ideal: -inf)")
+    assert leak_at_rx1**2 < 1e-12, "nulling should cancel tx2 at rx1 to numerical precision"
 
     # rx2 decodes tx2's symbols by projecting out tx1's interference.
-    n_symbols = 2000
+    n_symbols = 500 if QUICK else 2000
     p = complex_gaussian(n_symbols, rng, 1.0)  # tx1's symbols
     q = complex_gaussian(n_symbols, rng, 1.0)  # tx2's symbols
     noise = complex_gaussian((2, n_symbols), rng, 1e-2)
@@ -59,6 +69,7 @@ def nulling_example(rng: np.random.Generator) -> None:
     snr = post_projection_snr_db((h_tx2_rx2 @ precoder).reshape(2, 1), h_tx1_rx2, 1e-2)[0]
     print(f"rx2 post-projection SNR        : {snr:7.1f} dB")
     print(f"rx2 symbol error power         : {error:7.4f} (unit-power symbols)")
+    assert error < 0.5, "projection decoding should recover tx2's unit-power symbols"
 
 
 def carrier_sense_example(rng: np.random.Generator) -> None:
@@ -73,9 +84,12 @@ def carrier_sense_example(rng: np.random.Generator) -> None:
 
     ongoing_only = np.outer(h_ongoing, complex_gaussian(500, rng, 1.0))
     noise = complex_gaussian((3, 500), rng, 1.0)
-    print(f"raw power on the medium        : {linear_to_db(np.mean(np.abs(ongoing_only) ** 2)):7.1f} dB")
-    print(f"power after projection         : {sensor.sense_power_db(ongoing_only + noise):7.1f} dB")
+    raw_db = linear_to_db(np.mean(np.abs(ongoing_only) ** 2))
+    projected_db = sensor.sense_power_db(ongoing_only + noise)
+    print(f"raw power on the medium        : {raw_db:7.1f} dB")
+    print(f"power after projection         : {projected_db:7.1f} dB")
     print("-> the second degree of freedom looks idle, so a 2+ antenna node may contend")
+    assert projected_db < raw_db - 10.0, "projection should hide the ongoing transmission"
 
 
 def mac_comparison(rng: np.random.Generator) -> None:
@@ -84,13 +98,17 @@ def mac_comparison(rng: np.random.Generator) -> None:
     print("Step 5: n+ vs 802.11n on the three-pair topology (Fig. 3)")
     print("=" * 70)
 
-    config = SimulationConfig(duration_us=60_000.0, n_subcarriers=8)
+    duration = 20_000.0 if QUICK else 60_000.0
+    config = SimulationConfig(duration_us=duration, n_subcarriers=8)
+    totals = {}
     for protocol in ("802.11n", "n+"):
         metrics = run_simulation(three_pair_scenario(), protocol, seed=7, config=config)
+        totals[protocol] = metrics.total_throughput_mbps()
         per_pair = "  ".join(
             f"{name}: {value:5.1f}" for name, value in metrics.per_link_throughputs().items()
         )
         print(f"{protocol:9s} total {metrics.total_throughput_mbps():5.1f} Mb/s   ({per_pair})")
+    assert all(value > 0.0 for value in totals.values()), "both protocols should deliver traffic"
 
 
 def main() -> None:

@@ -27,7 +27,7 @@ from repro.constants import MAX_TX_POWER_DBM, NOISE_FLOOR_DBM
 from repro.exceptions import ConfigurationError
 from repro.utils.db import db_to_linear
 
-__all__ = ["Testbed", "TestbedLink", "default_testbed"]
+__all__ = ["Testbed", "TestbedLink", "default_testbed", "dense_testbed"]
 
 
 @dataclass(frozen=True)
@@ -217,4 +217,45 @@ def default_testbed(hardware: Optional[HardwareProfile] = None) -> Testbed:
     south_offices = [(4.0 + 6.0 * i, 3.5) for i in range(5)]
     corners = [(1.0, 1.0), (29.0, 1.0), (1.0, 19.0), (29.0, 19.0)]
     locations = corridor + north_offices + south_offices + corners
+    return Testbed(locations=locations, hardware=hardware or HardwareProfile())
+
+
+def dense_testbed(
+    n_locations: int = 64,
+    width_m: float = 60.0,
+    height_m: float = 40.0,
+    seed: int = 0,
+    hardware: Optional[HardwareProfile] = None,
+) -> Testbed:
+    """A larger synthetic floor for the dense-LAN scenarios.
+
+    The default 20-location floor of :func:`default_testbed` cannot hold
+    the 20-50 node scenarios of :func:`repro.sim.scenarios.dense_lan_scenario`,
+    so this builds a bigger one: ``n_locations`` candidate positions on a
+    jittered grid covering ``width_m`` x ``height_m`` metres (roughly a
+    whole office storey at the defaults).  The layout is deterministic
+    given ``seed`` -- the jitter comes from a generator seeded here, not
+    from any per-run randomness -- so scenarios built on it have stable
+    geometry for caching and cross-run comparisons.
+    """
+    if n_locations < 2:
+        raise ConfigurationError("a testbed needs at least two locations")
+    rng = np.random.default_rng(seed)
+    n_cols = int(np.ceil(np.sqrt(n_locations * width_m / height_m)))
+    n_rows = int(np.ceil(n_locations / n_cols))
+    xs = np.linspace(2.0, width_m - 2.0, n_cols)
+    ys = np.linspace(2.0, height_m - 2.0, n_rows)
+    spacing = min(
+        xs[1] - xs[0] if n_cols > 1 else width_m,
+        ys[1] - ys[0] if n_rows > 1 else height_m,
+    )
+    grid = [(float(x), float(y)) for y in ys for x in xs][:n_locations]
+    jitter = rng.uniform(-0.3, 0.3, size=(len(grid), 2)) * spacing
+    locations = [
+        (
+            float(np.clip(x + dx, 0.5, width_m - 0.5)),
+            float(np.clip(y + dy, 0.5, height_m - 0.5)),
+        )
+        for (x, y), (dx, dy) in zip(grid, jitter)
+    ]
     return Testbed(locations=locations, hardware=hardware or HardwareProfile())

@@ -5,13 +5,19 @@ Installed as a module runner::
     python -m repro.cli fig9
     python -m repro.cli fig11 --trials 1000
     python -m repro.cli fig12 --runs 10 --duration-ms 100
+    python -m repro.cli fig12 --scenario dense-lan-20 --workers 4 --cache-dir .sweep-cache
     python -m repro.cli fig13 --runs 10
     python -m repro.cli handshake
+    python -m repro.cli scenarios
+    python -m repro.cli sweep --scenario dense-lan-30 --protocols 802.11n,n+ --runs 50 --workers 4
     python -m repro.cli all --quick
 
-Each sub-command runs the corresponding experiment from
+Each figure sub-command runs the corresponding experiment from
 :mod:`repro.experiments` and prints the same summary rows the benchmark
-harness produces.
+harness produces.  ``scenarios`` lists the registered topologies,
+``sweep`` runs an arbitrary scenario x protocol grid through the parallel
+orchestrator (:mod:`repro.sim.sweep`) with optional worker fan-out and
+on-disk result caching.
 """
 
 from __future__ import annotations
@@ -26,7 +32,10 @@ from repro.experiments import fig11_nulling_alignment as fig11
 from repro.experiments import fig12_throughput as fig12
 from repro.experiments import fig13_heterogeneous as fig13
 from repro.experiments import handshake_overhead as handshake
+from repro.experiments.report import format_table
 from repro.sim.runner import SimulationConfig
+from repro.sim.scenarios import available_scenarios, scenario_factory
+from repro.sim.sweep import run_sweep
 
 __all__ = ["main", "build_parser"]
 
@@ -55,21 +64,34 @@ def _simulation_config(args: argparse.Namespace) -> SimulationConfig:
     return SimulationConfig(
         duration_us=args.duration_ms * 1000.0,
         n_subcarriers=args.subcarriers,
+        packet_rate_pps=args.packet_rate_pps,
     )
 
 
 def _run_fig12(args: argparse.Namespace) -> None:
-    _print_header("Fig. 12 -- throughput of n+ vs 802.11n (three-pair scenario)")
+    scenario = args.scenario or "three-pair"
+    _print_header(f"Fig. 12 -- throughput of n+ vs 802.11n ({scenario} scenario)")
     experiment = fig12.run_throughput_experiment(
-        n_runs=args.runs, seed=args.seed, config=_simulation_config(args)
+        n_runs=args.runs,
+        seed=args.seed,
+        config=_simulation_config(args),
+        scenario=scenario,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
     )
     print(fig12.summarize(experiment))
 
 
 def _run_fig13(args: argparse.Namespace) -> None:
-    _print_header("Fig. 13 -- heterogeneous scenario vs 802.11n and beamforming")
+    scenario = args.scenario or "heterogeneous-ap"
+    _print_header(f"Fig. 13 -- {scenario} scenario vs 802.11n and beamforming")
     experiment = fig13.run_heterogeneous_experiment(
-        n_runs=args.runs, seed=args.seed, config=_simulation_config(args)
+        n_runs=args.runs,
+        seed=args.seed,
+        config=_simulation_config(args),
+        scenario=scenario,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
     )
     print(fig13.summarize(experiment))
 
@@ -78,6 +100,65 @@ def _run_handshake(args: argparse.Namespace) -> None:
     _print_header("§3.5 -- light-weight handshake overhead")
     result = handshake.run_handshake_experiment(n_channels=args.trials, seed=args.seed)
     print(handshake.summarize(result))
+
+
+def _run_scenarios(args: argparse.Namespace) -> None:
+    _print_header("Registered scenarios")
+    rows = []
+    for name in available_scenarios():
+        scenario = scenario_factory(name)()
+        traffic = (
+            f"Poisson {scenario.packet_rate_pps:.0f} pps"
+            if scenario.packet_rate_pps
+            else "saturated"
+        )
+        rows.append(
+            [
+                name,
+                str(len(scenario.stations)),
+                str(len(scenario.pairs)),
+                str(scenario.max_antennas),
+                traffic,
+            ]
+        )
+    print(format_table(["scenario", "stations", "pairs", "max antennas", "traffic"], rows))
+
+
+def _run_sweep(args: argparse.Namespace) -> None:
+    scenario = args.scenario or "three-pair"
+    protocols = [p.strip() for p in args.protocols.split(",") if p.strip()]
+    _print_header(
+        f"Sweep -- {scenario}, {len(protocols)} protocol(s) x {args.runs} placement(s)"
+    )
+    start = time.time()
+    result = run_sweep(
+        scenario,
+        protocols,
+        n_runs=args.runs,
+        seed=args.seed,
+        config=_simulation_config(args),
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+    )
+    elapsed = time.time() - start
+    rows = []
+    for protocol in protocols:
+        totals = result.totals_mbps(protocol)
+        fairness = [m.fairness_index() for m in result.results[protocol]]
+        rows.append(
+            [
+                protocol,
+                f"{sum(totals) / len(totals):.1f}",
+                f"{min(totals):.1f}",
+                f"{max(totals):.1f}",
+                f"{sum(fairness) / len(fairness):.2f}",
+            ]
+        )
+    print(format_table(["protocol", "mean Mb/s", "min", "max", "Jain fairness"], rows))
+    print(
+        f"\n{result.cache_hits} cell(s) from cache, {result.cache_misses} simulated "
+        f"on {result.workers} worker(s) in {elapsed:.1f} s"
+    )
 
 
 def _run_all(args: argparse.Namespace) -> None:
@@ -97,6 +178,8 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "fig12": _run_fig12,
     "fig13": _run_fig13,
     "handshake": _run_handshake,
+    "scenarios": _run_scenarios,
+    "sweep": _run_sweep,
     "all": _run_all,
 }
 
@@ -122,6 +205,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--subcarriers", type=int, default=12, help="subcarriers tracked by the link abstraction"
     )
     parser.add_argument(
+        "--scenario",
+        default=None,
+        help="registered scenario name (see the 'scenarios' command); "
+        "default depends on the experiment",
+    )
+    parser.add_argument(
+        "--protocols",
+        default="802.11n,n+",
+        help="comma-separated protocols for the 'sweep' command",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for placement sweeps (0 = all cores)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory of the on-disk sweep results cache (default: no cache)",
+    )
+    parser.add_argument(
+        "--packet-rate-pps",
+        type=float,
+        default=None,
+        help="per-flow Poisson arrival rate; 0 forces saturated sources even "
+        "on a bursty scenario (default: saturated, or the scenario's hint)",
+    )
+    parser.add_argument(
         "--quick", action="store_true", help="shrink every experiment (used with 'all')"
     )
     return parser
@@ -131,6 +243,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Entry point: parse arguments and run the selected experiment."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.workers == 0:
+        args.workers = None  # run_sweep: None = all usable cores
+    if args.packet_rate_pps is not None and args.packet_rate_pps < 0:
+        parser.error("--packet-rate-pps must be >= 0 (0 = saturated sources)")
     _COMMANDS[args.command](args)
     return 0
 

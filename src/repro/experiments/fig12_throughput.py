@@ -7,23 +7,34 @@ throughput and per-pair throughput.  The headline numbers of §6.3 are
 derived from the same data: the total roughly doubles, the 2-antenna
 pair gains ~1.5x, the 3-antenna pair gains ~3.5x and the single-antenna
 pair loses only a few percent.
+
+The sweep itself runs through :func:`repro.sim.sweep.run_sweep`, so the
+same experiment scales to dense scenario grids (``scenario="dense-lan-20"``
+etc.), fans out over worker processes (``workers=4``) and memoises per-run
+results in an on-disk cache (``cache_dir=...``) -- all without changing
+the numbers a serial run produces.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Union
 
 import numpy as np
 
 from repro.experiments.report import format_cdf_summary, format_table
-from repro.sim.runner import SimulationConfig, run_many
-from repro.sim.scenarios import three_pair_scenario
+from repro.sim.runner import SimulationConfig
+from repro.sim.scenarios import Scenario, three_pair_scenario
+from repro.sim.sweep import run_sweep
 
 __all__ = ["ThroughputExperiment", "run_throughput_experiment", "summarize"]
 
-#: Pair names of the three-pair scenario, in antenna order.
-PAIR_NAMES = ("tx1->rx1", "tx2->rx2", "tx3->rx3")
+#: §6.3 headline labels for the default scenario's pairs.
+_HEADLINE_LABELS = {
+    "tx1->rx1": "single-antenna pair (tx1)",
+    "tx2->rx2": "2-antenna pair (tx2)",
+    "tx3->rx3": "3-antenna pair (tx3)",
+}
 
 
 @dataclass
@@ -42,6 +53,12 @@ class ThroughputExperiment:
     per_pair: Dict[str, Dict[str, List[float]]] = field(default_factory=dict)
 
     # -- derived summaries ------------------------------------------------------
+
+    def pair_names(self) -> List[str]:
+        """The traffic pairs present in the results."""
+        for per in self.per_pair.values():
+            return list(per)
+        return []
 
     def average_total(self, protocol: str) -> float:
         """Mean total throughput of a protocol."""
@@ -75,6 +92,9 @@ def run_throughput_experiment(
     duration_us: float = 120_000.0,
     seed: int = 0,
     config: Optional[SimulationConfig] = None,
+    scenario: Union[str, Callable[[], Scenario]] = "three-pair",
+    workers: Optional[int] = 1,
+    cache_dir: Optional[str] = None,
 ) -> ThroughputExperiment:
     """Run the Fig. 12 sweep.
 
@@ -90,35 +110,52 @@ def run_throughput_experiment(
     config:
         Override the full simulation configuration (``duration_us`` is
         ignored if this is given).
+    scenario:
+        Registered scenario name or factory; the paper's Fig. 12 uses the
+        default ``"three-pair"``, and the dense LANs
+        (``"dense-lan-20"``...) run the same comparison at scale.
+    workers:
+        Worker processes for the sweep (1 = serial, ``None`` = all cores).
+    cache_dir:
+        Optional on-disk results cache; repeated invocations replay
+        unchanged runs instead of recomputing them.
     """
     config = config or SimulationConfig(duration_us=duration_us)
     protocols = ["802.11n", "n+"]
-    raw = run_many(three_pair_scenario, protocols, n_runs=n_runs, seed=seed, config=config)
+    sweep = run_sweep(
+        scenario,
+        protocols,
+        n_runs=n_runs,
+        seed=seed,
+        config=config,
+        workers=workers,
+        cache_dir=cache_dir,
+    )
+    raw = sweep.results
+    pair_names = sweep.link_names()
 
     experiment = ThroughputExperiment()
     for protocol in protocols:
         experiment.totals[protocol] = [m.total_throughput_mbps() for m in raw[protocol]]
         experiment.per_pair[protocol] = {
-            name: [m.throughput_mbps(name) for m in raw[protocol]] for name in PAIR_NAMES
+            name: [m.throughput_mbps(name) for m in raw[protocol]] for name in pair_names
         }
     return experiment
 
 
 def summarize(experiment: ThroughputExperiment) -> str:
-    """Render the Fig. 12 CDover summaries and the §6.3 headline gains."""
+    """Render the Fig. 12 CDF summaries and the §6.3 headline gains."""
     lines = ["-- Fig. 12(a): total network throughput (Mb/s) --"]
     for protocol in experiment.totals:
         lines.append(format_cdf_summary(protocol, experiment.totals[protocol]))
-    for index, pair in enumerate(PAIR_NAMES, start=2):
+    for index, pair in enumerate(experiment.pair_names(), start=2):
         lines.append(f"-- Fig. 12({chr(ord('a') + index - 1)}): throughput of {pair} (Mb/s) --")
         for protocol in experiment.per_pair:
             lines.append(format_cdf_summary(protocol, experiment.per_pair[protocol][pair]))
-    rows = [
-        ["total network throughput", f"{experiment.total_gain():.2f}x"],
-        ["single-antenna pair (tx1)", f"{experiment.pair_gain('tx1->rx1'):.2f}x"],
-        ["2-antenna pair (tx2)", f"{experiment.pair_gain('tx2->rx2'):.2f}x"],
-        ["3-antenna pair (tx3)", f"{experiment.pair_gain('tx3->rx3'):.2f}x"],
-    ]
+    rows = [["total network throughput", f"{experiment.total_gain():.2f}x"]]
+    for pair in experiment.pair_names():
+        label = _HEADLINE_LABELS.get(pair, f"pair {pair}")
+        rows.append([label, f"{experiment.pair_gain(pair):.2f}x"])
     lines.append("-- throughput gain of n+ over 802.11n (mean of per-run ratios) --")
     lines.append(format_table(["quantity", "gain"], rows))
     return "\n".join(lines)

@@ -12,18 +12,16 @@ the single-antenna client loses only slightly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Union
 
 import numpy as np
 
 from repro.experiments.report import format_cdf_summary, format_table
-from repro.sim.runner import SimulationConfig, run_many
-from repro.sim.scenarios import heterogeneous_ap_scenario
+from repro.sim.runner import SimulationConfig
+from repro.sim.scenarios import Scenario, heterogeneous_ap_scenario
+from repro.sim.sweep import run_sweep
 
 __all__ = ["HeterogeneousExperiment", "run_heterogeneous_experiment", "summarize"]
-
-#: The two flows of the Fig. 4 scenario.
-FLOW_NAMES = ("c1->AP1", "AP2->c2+c3")
 
 
 @dataclass
@@ -40,6 +38,12 @@ class HeterogeneousExperiment:
 
     totals: Dict[str, List[float]] = field(default_factory=dict)
     per_flow: Dict[str, Dict[str, List[float]]] = field(default_factory=dict)
+
+    def flow_names(self) -> List[str]:
+        """The traffic flows present in the results."""
+        for per in self.per_flow.values():
+            return list(per)
+        return []
 
     def gain_over(self, baseline: str, flow: Optional[str] = None) -> List[float]:
         """Per-run throughput ratios of n+ over ``baseline``."""
@@ -66,18 +70,35 @@ def run_heterogeneous_experiment(
     duration_us: float = 120_000.0,
     seed: int = 0,
     config: Optional[SimulationConfig] = None,
+    scenario: Union[str, Callable[[], Scenario]] = "heterogeneous-ap",
+    workers: Optional[int] = 1,
+    cache_dir: Optional[str] = None,
 ) -> HeterogeneousExperiment:
-    """Run the Fig. 13 sweep over random placements."""
+    """Run the Fig. 13 sweep over random placements.
+
+    ``scenario``/``workers``/``cache_dir`` behave as in
+    :func:`repro.experiments.fig12_throughput.run_throughput_experiment`:
+    any registered scenario (e.g. the dense LANs) can be swept, fanned out
+    over worker processes and memoised in the on-disk results cache.
+    """
     config = config or SimulationConfig(duration_us=duration_us)
     protocols = ["802.11n", "beamforming", "n+"]
-    raw = run_many(
-        heterogeneous_ap_scenario, protocols, n_runs=n_runs, seed=seed, config=config
+    sweep = run_sweep(
+        scenario,
+        protocols,
+        n_runs=n_runs,
+        seed=seed,
+        config=config,
+        workers=workers,
+        cache_dir=cache_dir,
     )
+    raw = sweep.results
+    flow_names = sweep.link_names()
     experiment = HeterogeneousExperiment()
     for protocol in protocols:
         experiment.totals[protocol] = [m.total_throughput_mbps() for m in raw[protocol]]
         experiment.per_flow[protocol] = {
-            name: [m.throughput_mbps(name) for m in raw[protocol]] for name in FLOW_NAMES
+            name: [m.throughput_mbps(name) for m in raw[protocol]] for name in flow_names
         }
     return experiment
 
@@ -90,13 +111,19 @@ def summarize(experiment: HeterogeneousExperiment) -> str:
     for baseline, figure in (("802.11n", "Fig. 13(a)"), ("beamforming", "Fig. 13(b)")):
         lines.append(f"-- {figure}: throughput gain of n+ over {baseline} --")
         lines.append(format_cdf_summary("total gain", experiment.gain_over(baseline)))
-        for flow in FLOW_NAMES:
+        for flow in experiment.flow_names():
             lines.append(format_cdf_summary(f"gain of {flow}", experiment.gain_over(baseline, flow)))
     rows = [
         ["total, vs 802.11n", f"{experiment.mean_gain_over('802.11n'):.2f}x"],
         ["total, vs beamforming", f"{experiment.mean_gain_over('beamforming'):.2f}x"],
-        ["single-antenna client (c1), vs 802.11n", f"{experiment.mean_gain_over('802.11n', 'c1->AP1'):.2f}x"],
-        ["AP2 downlink flows, vs 802.11n", f"{experiment.mean_gain_over('802.11n', 'AP2->c2+c3'):.2f}x"],
     ]
+    if "c1->AP1" in experiment.flow_names():
+        rows.append(
+            ["single-antenna client (c1), vs 802.11n", f"{experiment.mean_gain_over('802.11n', 'c1->AP1'):.2f}x"]
+        )
+    if "AP2->c2+c3" in experiment.flow_names():
+        rows.append(
+            ["AP2 downlink flows, vs 802.11n", f"{experiment.mean_gain_over('802.11n', 'AP2->c2+c3'):.2f}x"]
+        )
     lines.append(format_table(["quantity", "gain"], rows))
     return "\n".join(lines)

@@ -124,6 +124,21 @@ class BaseMacAgent:
         """Unacknowledged bits queued for one receiver."""
         return self.queues[receiver_id].backlog_bits
 
+    def next_traffic_time_us(self, now_us: float) -> float:
+        """Earliest time this agent could want to contend again.
+
+        ``now_us`` when a queue is already backlogged; otherwise the
+        earliest upcoming arrival across the traffic sources.  The
+        event-driven runner uses this to schedule the next contention poll
+        directly at the end of an idle gap.
+        """
+        times: List[float] = []
+        for receiver_id, queue in self.queues.items():
+            if queue.has_traffic:
+                return now_us
+            times.append(self.sources[receiver_id].next_packet_time_us(now_us))
+        return min(times) if times else float("inf")
+
     # -- timing helpers ----------------------------------------------------------------
 
     def header_duration_us(self) -> float:

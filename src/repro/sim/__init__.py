@@ -15,8 +15,10 @@ nulling/alignment.
 * :mod:`repro.sim.metrics` -- throughput and fairness accounting.
 * :mod:`repro.sim.link_abstraction` -- post-projection SNR evaluation.
 * :mod:`repro.sim.network` -- nodes + channels + hardware for one run.
-* :mod:`repro.sim.scenarios` -- the topologies of Figs. 2, 3 and 4.
-* :mod:`repro.sim.runner` -- the contention/transmission loop and sweeps.
+* :mod:`repro.sim.scenarios` -- the registered topologies: the paper's
+  Figs. 2, 3 and 4 plus the dense-LAN family.
+* :mod:`repro.sim.runner` -- the event-driven contention/transmission loop.
+* :mod:`repro.sim.sweep` -- parallel, cached placement x protocol sweeps.
 """
 
 from repro.sim.engine import EventScheduler
@@ -27,11 +29,21 @@ from repro.sim.metrics import LinkMetrics, NetworkMetrics
 from repro.sim.network import Network
 from repro.sim.scenarios import (
     Scenario,
+    available_scenarios,
+    dense_lan_scenario,
+    heterogeneous_ap_scenario,
+    register_scenario,
+    scenario_factory,
     three_pair_scenario,
     two_pair_scenario,
-    heterogeneous_ap_scenario,
 )
-from repro.sim.runner import SimulationConfig, run_simulation, run_many
+from repro.sim.runner import (
+    SimulationConfig,
+    run_simulation,
+    run_many,
+    simulate_placement,
+)
+from repro.sim.sweep import SweepCache, SweepResult, run_sweep
 
 __all__ = [
     "EventScheduler",
@@ -45,10 +57,18 @@ __all__ = [
     "NetworkMetrics",
     "Network",
     "Scenario",
+    "available_scenarios",
+    "dense_lan_scenario",
+    "register_scenario",
+    "scenario_factory",
     "three_pair_scenario",
     "two_pair_scenario",
     "heterogeneous_ap_scenario",
     "SimulationConfig",
     "run_simulation",
     "run_many",
+    "simulate_placement",
+    "SweepCache",
+    "SweepResult",
+    "run_sweep",
 ]

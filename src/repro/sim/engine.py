@@ -1,11 +1,12 @@
 """A minimal discrete-event scheduler.
 
-The main simulation loop (:mod:`repro.sim.runner`) advances time
-transmission by transmission, but a few things happen on their own clock:
-Poisson packet arrivals, periodic metric snapshots, and user callbacks in
-the examples.  The :class:`EventScheduler` provides the usual
-``schedule``/``run_until`` primitives for those, with deterministic
-ordering for events that share a timestamp.
+The indexed event queue at the heart of the simulator: the main loop
+(:mod:`repro.sim.runner`) schedules every contention/transmission round
+as an event here (which is how idle gaps are crossed in one hop instead
+of one slot at a time), and anything on its own clock -- Poisson packet
+arrivals, periodic metric snapshots, user callbacks in the examples --
+uses the same ``schedule``/``run_until`` primitives.  Events that share
+a timestamp run in scheduling order, so seeded runs are deterministic.
 """
 
 from __future__ import annotations

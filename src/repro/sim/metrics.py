@@ -1,8 +1,14 @@
-"""Throughput and fairness accounting."""
+"""Throughput and fairness accounting.
+
+Metrics round-trip losslessly through plain dicts
+(:meth:`NetworkMetrics.to_dict` / :meth:`NetworkMetrics.from_dict`),
+which is what the sweep results cache serialises to JSON and what worker
+processes ship back to the orchestrator.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, Iterable, List, Sequence
 
 import numpy as np
@@ -53,6 +59,15 @@ class LinkMetrics:
             return 0.0
         return self.delivered_bits / self.attempted_bits
 
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON-safe), inverse of :meth:`from_dict`."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LinkMetrics":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(**data)
+
 
 @dataclass
 class NetworkMetrics:
@@ -95,6 +110,31 @@ class NetworkMetrics:
     def fairness_index(self) -> float:
         """Jain fairness index of the per-link throughputs."""
         return jain_fairness_index(self.per_link_throughputs().values())
+
+    # -- serialisation ----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON-safe), inverse of :meth:`from_dict`.
+
+        All counters are ints/floats, so the round trip is lossless --
+        the sweep cache relies on ``from_dict(to_dict(m))`` being equal to
+        ``m`` field for field.
+        """
+        return {
+            "elapsed_us": self.elapsed_us,
+            "links": {name: link.to_dict() for name, link in self.links.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "NetworkMetrics":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            elapsed_us=data["elapsed_us"],
+            links={
+                name: LinkMetrics.from_dict(link)
+                for name, link in data.get("links", {}).items()
+            },
+        )
 
 
 def empirical_cdf(values: Sequence[float]) -> tuple:

@@ -64,6 +64,7 @@ class Network:
         self.noise_power = 1.0
         self.hardware: HardwareProfile = self.testbed.hardware
         self._forced_snrs = dict(forced_link_snrs_db or {})
+        self._estimation_rng: Optional[np.random.Generator] = None
 
         self._place_stations()
         self._channels: Dict[Tuple[int, int], np.ndarray] = {}
@@ -133,6 +134,23 @@ class Network:
             raise ConfigurationError("a node has no channel to itself")
         return self._channels[(tx_id, rx_id)]
 
+    def reseed_estimation_noise(self, seed) -> None:
+        """Give channel-estimation noise its own seeded random stream.
+
+        :meth:`estimated_channel` draws measurement noise on every call.
+        By default those draws come from the network's construction
+        generator, which makes a protocol's estimates depend on how much
+        randomness *previously simulated protocols* consumed.  The runner
+        calls this at the start of every simulation (seeded from the
+        simulation seed) so each (protocol, seed) simulation sees an
+        estimation-noise stream that is independent of execution order --
+        the property that lets sweeps run protocols in parallel, in any
+        order, or out of a cache and still match a serial run bit for bit.
+
+        ``seed`` is anything :func:`numpy.random.default_rng` accepts.
+        """
+        self._estimation_rng = np.random.default_rng(seed)
+
     def estimated_channel(
         self, tx_id: int, rx_id: int, reciprocity: bool = False
     ) -> np.ndarray:
@@ -141,9 +159,14 @@ class Network:
         ``reciprocity=True`` models an estimate derived from the reverse
         direction (what a joiner does with overheard CTS headers), which
         carries the additional calibration error of §2's footnote 2.
+
+        Measurement noise is drawn from the stream installed by
+        :meth:`reseed_estimation_noise` when one is set (the runner always
+        sets one), falling back to the construction generator otherwise.
         """
         true = self.true_channel(tx_id, rx_id)
-        return self.hardware.perturb_channel(true, self.rng, reciprocity=reciprocity)
+        rng = self._estimation_rng if self._estimation_rng is not None else self.rng
+        return self.hardware.perturb_channel(true, rng, reciprocity=reciprocity)
 
     # -- summary ---------------------------------------------------------------------
 

@@ -1,6 +1,7 @@
 """The main simulation loop: contention, transmission, join, delivery.
 
-Each iteration of the loop is one joint transmission on the medium:
+The simulation advances round by round, where one round is one joint
+transmission on the medium:
 
 1. every backlogged node contends (condensed DCF); the winner starts
    transmitting after DIFS + backoff + its light-weight header;
@@ -12,16 +13,31 @@ Each iteration of the loop is one joint transmission on the medium:
    imperfect nulling/alignment included), ACKs are exchanged and queues
    and contention windows are updated.
 
+Rounds are driven by the indexed event queue of
+:class:`~repro.sim.engine.EventScheduler`: each round is one scheduled
+event, and idle gaps between Poisson arrivals are skipped in a single
+event instead of being polled slot by slot, so lightly-loaded or
+many-node simulations no longer pay for empty airtime.  The original
+condensed ``while`` loop is kept as
+:func:`_run_simulation_condensed_reference` and the test suite asserts
+that both produce bit-identical metrics.
+
 The per-run environment (placements, channels) is frozen in a
 :class:`~repro.sim.network.Network`, so different protocols can be
 compared on identical channel realisations, as the paper does by running
-all schemes at each set of node locations.
+all schemes at each set of node locations.  Channel-*estimation* noise is
+drawn from a stream seeded per simulation
+(:meth:`~repro.sim.network.Network.reseed_estimation_noise`), which makes
+every ``(scenario, protocol, seed, config)`` simulation a pure function
+of its arguments -- the property the parallel sweep orchestrator
+(:mod:`repro.sim.sweep`) relies on to fan runs out across worker
+processes and still match a serial sweep byte for byte.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -29,17 +45,31 @@ from repro.constants import SLOT_TIME_US
 from repro.exceptions import ConfigurationError, SimulationError
 from repro.mac.csma import resolve_contention
 from repro.phy.esnr import packet_delivery_probability
+from repro.sim.engine import EventScheduler
 from repro.sim.link_abstraction import receiver_stream_snrs
 from repro.sim.medium import Medium, ScheduledStream
 from repro.sim.metrics import NetworkMetrics
 from repro.sim.network import Network
 from repro.sim.scenarios import Scenario
 
-__all__ = ["SimulationConfig", "run_simulation", "run_many", "mac_factory"]
+__all__ = [
+    "SimulationConfig",
+    "run_simulation",
+    "run_many",
+    "simulate_placement",
+    "build_network",
+    "placement_seed",
+    "mac_seed",
+    "mac_factory",
+]
 
 #: Registry of protocol names to agent classes (filled lazily to avoid
 #: circular imports between the MAC and simulation packages).
 _PROTOCOLS: Dict[str, Callable] = {}
+
+#: Stream tag mixed into the simulation seed for channel-estimation noise,
+#: so the estimation stream is decorrelated from backoff/delivery draws.
+_ESTIMATION_STREAM_TAG = 0x657374  # "est"
 
 
 def mac_factory(protocol: str) -> Callable:
@@ -71,24 +101,40 @@ def mac_factory(protocol: str) -> Callable:
 class SimulationConfig:
     """Parameters of one simulation run.
 
+    The config is part of the results-cache key used by
+    :mod:`repro.sim.sweep`: two runs with equal configs (and equal
+    scenario, protocol and seed) produce identical metrics, and any field
+    change invalidates the cached entry.
+
     Attributes
     ----------
     duration_us:
-        Simulated time.
+        Length of the observation window in simulated microseconds.  The
+        last transmission round may run past it; the metrics normalise by
+        the actual elapsed time.
     packet_size_bytes:
         Payload of every generated packet (1500 in the paper).
     n_subcarriers:
-        Subcarriers tracked by the link abstraction.
+        Number of OFDM subcarriers tracked by the link abstraction.  16
+        keeps runs fast while retaining frequency selectivity; 64 is full
+        fidelity; 8 is a common test/CI setting.
     min_join_airtime_us:
-        A joiner needs at least this much airtime left to bother joining.
+        A joiner needs at least this much airtime left in the ongoing
+        transmission to bother joining (n+ only).
     bitrate_margin_db:
-        Safety margin for bitrate selection.
+        Safety margin subtracted from the measured effective SNR before
+        selecting a bitrate.
     max_rounds:
-        Hard cap on transmission rounds (guards against runaway loops).
+        Hard cap on transmission rounds (guards against runaway loops); a
+        run that exceeds it raises :class:`~repro.exceptions.SimulationError`.
     packet_rate_pps:
-        Per-flow Poisson packet arrival rate.  ``None`` (the default) means
-        saturated sources, which is what the paper's evaluation uses; a
-        finite rate models bursty traffic.
+        Per-flow Poisson packet arrival rate.  ``None`` (the default)
+        means saturated sources, which is what the paper's evaluation
+        uses; a positive rate models bursty traffic.  When ``None``, a
+        scenario-level suggestion
+        (:attr:`repro.sim.scenarios.Scenario.packet_rate_pps`, used by the
+        bursty dense-LAN scenarios) applies instead; ``0`` explicitly
+        forces saturated sources even on such a scenario.
     """
 
     duration_us: float = 100_000.0
@@ -112,6 +158,18 @@ class _TransmissionGroup:
     joined: bool = False
 
 
+def _effective_packet_rate(scenario: Scenario, config: SimulationConfig) -> Optional[float]:
+    """The Poisson rate in effect: explicit config beats the scenario hint.
+
+    A config rate of ``0`` (or below) means "explicitly saturated" -- the
+    only way to override a bursty scenario's suggested rate back to the
+    paper's saturated sources.
+    """
+    if config.packet_rate_pps is not None:
+        return config.packet_rate_pps if config.packet_rate_pps > 0 else None
+    return getattr(scenario, "packet_rate_pps", None)
+
+
 def _build_agents(
     scenario: Scenario,
     network: Network,
@@ -120,6 +178,7 @@ def _build_agents(
     config: SimulationConfig,
 ) -> Dict[int, object]:
     agent_class = mac_factory(protocol)
+    packet_rate = _effective_packet_rate(scenario, config)
     agents: Dict[int, object] = {}
     for pair in scenario.pairs:
         agents[pair.transmitter.node_id] = agent_class(
@@ -128,7 +187,7 @@ def _build_agents(
             rng,
             packet_size_bytes=config.packet_size_bytes,
             bitrate_margin_db=config.bitrate_margin_db,
-            packet_rate_pps=config.packet_rate_pps,
+            packet_rate_pps=packet_rate,
         )
     return agents
 
@@ -178,57 +237,84 @@ def _evaluate_group(
     return bool(rng.random() < probability)
 
 
-def run_simulation(
-    scenario: Scenario,
-    protocol: str,
-    seed: int = 0,
-    config: Optional[SimulationConfig] = None,
-    network: Optional[Network] = None,
-) -> NetworkMetrics:
-    """Simulate one run of ``protocol`` on ``scenario``.
+class _EventDrivenLoop:
+    """Drives the contention/transmission rounds on an :class:`EventScheduler`.
 
-    Parameters
-    ----------
-    scenario:
-        The topology (stations and traffic pairs).
-    protocol:
-        ``"802.11n"``, ``"n+"`` or ``"beamforming"``.
-    seed:
-        Seed for placements, channels, backoff and delivery draws.
-    config:
-        Simulation parameters.
-    network:
-        Reuse an existing network (same placements/channels) instead of
-        drawing a new one -- this is how protocols are compared on the
-        same channel realisation.
+    Each round is one scheduled event; the handler resolves contention,
+    plays out the joint transmission exactly like the condensed loop, and
+    schedules the next round at the time the condensed loop would have
+    reached.  Idle gaps (all queues empty, next Poisson arrival in the
+    future) are crossed in a single event scheduled at the first busy
+    slot, instead of one iteration per 9 us slot, which is what lets the
+    runner scale to many lightly-loaded nodes.
     """
-    config = config or SimulationConfig()
-    rng = np.random.default_rng(seed)
-    if network is None:
-        network = Network(
-            scenario.stations,
-            scenario.pairs,
-            rng,
-            n_subcarriers=config.n_subcarriers,
-        )
-    agents = _build_agents(scenario, network, protocol, rng, config)
-    medium = Medium()
-    metrics = NetworkMetrics()
-    for pair in scenario.pairs:
-        metrics.link(pair.name)
 
-    now = 0.0
-    rounds = 0
-    while now < config.duration_us:
-        rounds += 1
-        if rounds > config.max_rounds:
+    def __init__(
+        self,
+        scenario: Scenario,
+        protocol: str,
+        rng: np.random.Generator,
+        config: SimulationConfig,
+        network: Network,
+    ) -> None:
+        self.config = config
+        self.rng = rng
+        self.network = network
+        self.agents = _build_agents(scenario, network, protocol, rng, config)
+        self.medium = Medium()
+        self.metrics = NetworkMetrics()
+        for pair in scenario.pairs:
+            self.metrics.link(pair.name)
+        self.scheduler = EventScheduler()
+        self.rounds = 0
+
+    def run(self) -> NetworkMetrics:
+        """Run rounds until the observation window closes."""
+        self.scheduler.schedule_at(0.0, self._round)
+        while self.scheduler.step():
+            pass
+        self.metrics.elapsed_us = self.scheduler.now_us
+        return self.metrics
+
+    # -- event handlers ---------------------------------------------------------
+
+    def _schedule_round(self, time_us: float) -> None:
+        self.scheduler.schedule_at(time_us, self._round)
+
+    def _idle_poll_time(self, now: float) -> float:
+        """First slot boundary at which an agent will have traffic.
+
+        Mirrors the condensed loop's slot-by-slot polling (including its
+        quantisation to slot multiples of the current time and its stop at
+        the window end) without calling into the agents at every slot.
+        """
+        next_arrival = min(
+            (agent.next_traffic_time_us(now) for agent in self.agents.values()),
+            default=float("inf"),
+        )
+        # Step in slot increments exactly like the condensed loop so the
+        # accumulated floating-point time matches it bit for bit.
+        time = now + SLOT_TIME_US
+        while time < next_arrival and time < self.config.duration_us:
+            time += SLOT_TIME_US
+        return time
+
+    def _round(self) -> None:
+        now = self.scheduler.now_us
+        config = self.config
+        if now >= config.duration_us:
+            return  # window over; nothing rescheduled, the queue drains
+
+        contending = [agent for agent in self.agents.values() if agent.has_traffic(now)]
+        if not contending:
+            self._schedule_round(self._idle_poll_time(now))
+            return
+
+        self.rounds += 1
+        if self.rounds > config.max_rounds:
             raise SimulationError("simulation exceeded the configured round budget")
 
-        contending = [agent for agent in agents.values() if agent.has_traffic(now)]
-        if not contending:
-            now += SLOT_TIME_US
-            continue
-
+        agents, medium, metrics, rng = self.agents, self.medium, self.metrics, self.rng
         outcome = resolve_contention([agent.contender for agent in contending], rng)
         groups: List[_TransmissionGroup] = []
 
@@ -254,8 +340,8 @@ def run_simulation(
             streams = winner.plan_initial(body_start, medium)
             if not streams:
                 # Nothing to send after all (race with traffic); burn a slot.
-                now += outcome.start_delay_us
-                continue
+                self._schedule_round(now + outcome.start_delay_us)
+                return
             medium.add_streams(streams)
             groups.extend(_groups_from_streams(winner, streams, collided=False, joined=False))
             metrics.link(winner.name).transmissions += 1
@@ -312,6 +398,196 @@ def run_simulation(
         # Evaluate deliveries with the final set of concurrent streams.
         all_streams = medium.active_streams
         for group in groups:
+            delivered = _evaluate_group(self.network, group, all_streams, rng)
+            agent = group.agent
+            link = metrics.link(agent.name)
+            link.attempted_bits += group.payload_bits
+            link.airtime_us += sum(s.duration_us for s in group.streams) / max(
+                len(group.streams), 1
+            )
+            if delivered:
+                link.delivered_bits += group.payload_bits
+                link.packets_delivered += 1
+            else:
+                link.packets_failed += 1
+            agent.record_outcome(group.receiver_id, group.payload_bits, delivered)
+
+        medium.clear()
+        self._schedule_round(max(end_of_round, now + SLOT_TIME_US))
+
+
+def run_simulation(
+    scenario: Scenario,
+    protocol: str,
+    seed: int = 0,
+    config: Optional[SimulationConfig] = None,
+    network: Optional[Network] = None,
+) -> NetworkMetrics:
+    """Simulate one run of ``protocol`` on ``scenario``.
+
+    The result is a pure function of the arguments: the same
+    ``(scenario, protocol, seed, config)`` always yields the same
+    :class:`~repro.sim.metrics.NetworkMetrics`, no matter what else was
+    simulated before (channel-estimation noise gets its own stream seeded
+    from ``seed``).  This is the contract the sweep cache and the parallel
+    orchestrator of :mod:`repro.sim.sweep` build on.
+
+    Parameters
+    ----------
+    scenario:
+        The topology (stations and traffic pairs).  Scenarios can carry a
+        custom testbed (dense LANs need more candidate locations) and a
+        suggested Poisson packet rate; both are honoured here.
+    protocol:
+        ``"802.11n"``, ``"n+"`` or ``"beamforming"``.
+    seed:
+        Seed for placements, channels, backoff and delivery draws.
+    config:
+        Simulation parameters; defaults to :class:`SimulationConfig()`.
+    network:
+        Reuse an existing network (same placements/channels) instead of
+        drawing a new one -- this is how protocols are compared on the
+        same channel realisation.
+    """
+    config = config or SimulationConfig()
+    rng = np.random.default_rng(seed)
+    if network is None:
+        network = Network(
+            scenario.stations,
+            scenario.pairs,
+            rng,
+            testbed=scenario.make_testbed(),
+            n_subcarriers=config.n_subcarriers,
+        )
+    network.reseed_estimation_noise((seed, _ESTIMATION_STREAM_TAG))
+    loop = _EventDrivenLoop(scenario, protocol, rng, config, network)
+    return loop.run()
+
+
+def _run_simulation_condensed_reference(
+    scenario: Scenario,
+    protocol: str,
+    seed: int = 0,
+    config: Optional[SimulationConfig] = None,
+    network: Optional[Network] = None,
+) -> NetworkMetrics:
+    """The original slot-polling ``while`` loop, kept as the readable
+    reference implementation.
+
+    The event-driven runner must produce bit-identical metrics; the test
+    suite asserts this for saturated and bursty traffic.  Unlike the
+    event-driven loop this one pays one iteration per 9 us slot of idle
+    airtime, which is why it was replaced.
+    """
+    config = config or SimulationConfig()
+    rng = np.random.default_rng(seed)
+    if network is None:
+        network = Network(
+            scenario.stations,
+            scenario.pairs,
+            rng,
+            testbed=scenario.make_testbed(),
+            n_subcarriers=config.n_subcarriers,
+        )
+    network.reseed_estimation_noise((seed, _ESTIMATION_STREAM_TAG))
+    agents = _build_agents(scenario, network, protocol, rng, config)
+    medium = Medium()
+    metrics = NetworkMetrics()
+    for pair in scenario.pairs:
+        metrics.link(pair.name)
+
+    now = 0.0
+    rounds = 0
+    while now < config.duration_us:
+        contending = [agent for agent in agents.values() if agent.has_traffic(now)]
+        if not contending:
+            now += SLOT_TIME_US
+            continue
+
+        rounds += 1
+        if rounds > config.max_rounds:
+            raise SimulationError("simulation exceeded the configured round budget")
+
+        outcome = resolve_contention([agent.contender for agent in contending], rng)
+        groups: List[_TransmissionGroup] = []
+
+        if outcome.collision:
+            # Every collided winner transmits; all of their frames are lost.
+            end_max = now + outcome.start_delay_us
+            ack_us = 0.0
+            for node_id in outcome.winners:
+                agent = agents[node_id]
+                body_start = now + outcome.start_delay_us + agent.header_duration_us()
+                streams = agent.plan_initial(body_start, medium)
+                if not streams:
+                    continue
+                medium.add_streams(streams)
+                groups.extend(_groups_from_streams(agent, streams, collided=True, joined=False))
+                metrics.link(agent.name).collisions += 1
+                end_max = max(end_max, max(s.end_us for s in streams))
+                ack_us = max(ack_us, agent.ack_duration_us())
+            end_of_round = end_max + ack_us
+        else:
+            winner = agents[outcome.winners[0]]
+            body_start = now + outcome.start_delay_us + winner.header_duration_us()
+            streams = winner.plan_initial(body_start, medium)
+            if not streams:
+                # Nothing to send after all (race with traffic); burn a slot.
+                now += outcome.start_delay_us
+                continue
+            medium.add_streams(streams)
+            groups.extend(_groups_from_streams(winner, streams, collided=False, joined=False))
+            metrics.link(winner.name).transmissions += 1
+            ack_us = winner.ack_duration_us()
+
+            sense_start = body_start
+            exhausted: set = set()
+            while True:
+                eligible = [
+                    agent
+                    for agent in agents.values()
+                    if agent.supports_joining
+                    and agent.node_id not in exhausted
+                    and agent.can_join(sense_start, medium, config.min_join_airtime_us)
+                ]
+                if not eligible:
+                    break
+                join_round = resolve_contention([a.contender for a in eligible], rng)
+                join_agents = [agents[node_id] for node_id in join_round.winners]
+                join_body_start = (
+                    sense_start
+                    + join_round.start_delay_us
+                    + max(a.header_duration_us() for a in join_agents)
+                )
+                if join_body_start + config.min_join_airtime_us > medium.current_end_us:
+                    break
+                added_any = False
+                for agent in join_agents:
+                    join_streams = agent.plan_join(join_body_start, medium)
+                    if not join_streams:
+                        exhausted.add(agent.node_id)
+                        continue
+                    medium.add_streams(join_streams)
+                    groups.extend(
+                        _groups_from_streams(
+                            agent,
+                            join_streams,
+                            collided=join_round.collision,
+                            joined=True,
+                        )
+                    )
+                    link = metrics.link(agent.name)
+                    link.joins += 1
+                    if join_round.collision:
+                        link.collisions += 1
+                    added_any = True
+                sense_start = join_body_start
+                if not added_any:
+                    continue
+            end_of_round = medium.current_end_us + ack_us
+
+        all_streams = medium.active_streams
+        for group in groups:
             delivered = _evaluate_group(network, group, all_streams, rng)
             agent = group.agent
             link = metrics.link(agent.name)
@@ -333,6 +609,67 @@ def run_simulation(
     return metrics
 
 
+def placement_seed(seed: int, run: int) -> int:
+    """The seed of run ``run`` in a sweep whose base seed is ``seed``.
+
+    Placements and channels are drawn from ``placement_seed(seed, run)``;
+    the MAC simulation of every protocol on that placement uses
+    :func:`mac_seed` of it.  Both :func:`run_many` and the parallel
+    sweeps of :mod:`repro.sim.sweep` use this scheme, which is what makes
+    their results interchangeable (and cacheable per run).
+    """
+    return seed + 1000 * run
+
+
+def mac_seed(run_seed: int) -> int:
+    """The MAC-simulation seed of a run whose placement seed is ``run_seed``.
+
+    Offset from the placement seed so backoff/delivery draws are
+    decorrelated from the channel draws.
+    """
+    return run_seed + 17
+
+
+def build_network(scenario: Scenario, run_seed: int, config: SimulationConfig) -> Network:
+    """Draw the placements and channels of one run.
+
+    This is *the* definition of how a run seed becomes a network --
+    :func:`run_many`, :func:`simulate_placement` and the sweep
+    orchestrator all build their networks here, which is what keeps
+    serial, parallel and cached results in lockstep.
+    """
+    return Network(
+        scenario.stations,
+        scenario.pairs,
+        np.random.default_rng(run_seed),
+        testbed=scenario.make_testbed(),
+        n_subcarriers=config.n_subcarriers,
+    )
+
+
+def simulate_placement(
+    scenario_factory: Callable[[], Scenario],
+    protocol: str,
+    run_seed: int,
+    config: Optional[SimulationConfig] = None,
+) -> NetworkMetrics:
+    """Simulate one protocol on one random placement, self-contained.
+
+    Draws the network from ``run_seed`` (:func:`build_network`) and runs
+    the MAC simulation with :func:`mac_seed(run_seed) <mac_seed>` --
+    exactly what :func:`run_many` does for each (run, protocol) cell.
+    Because the result depends only on the arguments, this is the unit
+    of work the parallel sweep ships to worker processes and the unit
+    the results cache stores.
+    """
+    config = config or SimulationConfig()
+    scenario = scenario_factory()
+    network = build_network(scenario, run_seed, config)
+    return run_simulation(
+        scenario, protocol, seed=mac_seed(run_seed), config=config, network=network
+    )
+
+
 def run_many(
     scenario_factory: Callable[[], Scenario],
     protocols: Sequence[str],
@@ -345,24 +682,34 @@ def run_many(
     For each run (i.e. each random assignment of nodes to locations) all
     protocols are simulated on the *same* network, mirroring the paper's
     methodology of comparing schemes location by location.
+
+    Seeding semantics
+    -----------------
+    Run ``r`` draws its placement and channels from
+    :func:`placement_seed(seed, r) <placement_seed>` (``seed + 1000 * r``)
+    via :func:`build_network` and simulates every protocol with
+    :func:`mac_seed` of that run seed.  Each (run, protocol) cell is a
+    pure function of those seeds, so the cells can be computed in any
+    order -- serially here, or in parallel / from a cache by
+    :func:`repro.sim.sweep.run_sweep`, whose results are byte-identical
+    to this function's.
+
+    Returns
+    -------
+    dict
+        ``{protocol: [metrics of run 0, metrics of run 1, ...]}``.
     """
     config = config or SimulationConfig()
     results: Dict[str, List[NetworkMetrics]] = {protocol: [] for protocol in protocols}
     for run in range(n_runs):
-        run_seed = seed + 1000 * run
+        run_seed = placement_seed(seed, run)
         scenario = scenario_factory()
-        network_rng = np.random.default_rng(run_seed)
-        network = Network(
-            scenario.stations,
-            scenario.pairs,
-            network_rng,
-            n_subcarriers=config.n_subcarriers,
-        )
+        network = build_network(scenario, run_seed, config)
         for protocol in protocols:
             metrics = run_simulation(
                 scenario,
                 protocol,
-                seed=run_seed + 17,
+                seed=mac_seed(run_seed),
                 config=config,
                 network=network,
             )

@@ -1,13 +1,34 @@
-"""The evaluation topologies of the paper (Figs. 2, 3 and 4)."""
+"""The evaluation topologies: the paper's Figs. 2, 3 and 4 plus dense LANs.
+
+Every scenario is a :class:`Scenario` -- stations, traffic pairs and
+(optionally) a custom testbed and a suggested traffic model.  Factories
+for the canonical topologies are registered in a name-to-factory registry
+so experiments, the CLI and the sweep cache can refer to a topology by a
+stable string::
+
+    >>> from repro.sim.scenarios import scenario_factory, available_scenarios
+    >>> available_scenarios()  # doctest: +ELLIPSIS
+    ['dense-lan-20', ...]
+    >>> scenario = scenario_factory("three-pair")()
+
+The ``dense-lan-*`` family models the production-scale regime the
+ROADMAP asks for: 20-50 node LANs with heterogeneous 1x1/2x2/3x3 antenna
+mixes on a larger synthetic floor, in saturated and bursty variants.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from functools import partial
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.exceptions import ConfigurationError
 from repro.sim.node import Station, TrafficPair
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.channel.testbed import Testbed
 
 __all__ = [
     "Scenario",
@@ -15,6 +36,10 @@ __all__ = [
     "three_pair_scenario",
     "heterogeneous_ap_scenario",
     "custom_pairs_scenario",
+    "dense_lan_scenario",
+    "register_scenario",
+    "scenario_factory",
+    "available_scenarios",
 ]
 
 
@@ -25,16 +50,27 @@ class Scenario:
     Attributes
     ----------
     name:
-        Scenario label used in result tables.
+        Scenario label used in result tables and cache keys.
     stations:
         Every node (transmitters and receivers).
     pairs:
         The transmitter-receiver pairs with traffic.
+    testbed_factory:
+        Optional zero-argument callable building the
+        :class:`~repro.channel.testbed.Testbed` this scenario should be
+        placed on.  ``None`` means the default 20-location office floor;
+        dense scenarios supply a larger floor so 20-50 nodes fit.
+    packet_rate_pps:
+        Optional suggested per-flow Poisson arrival rate.  ``None`` means
+        saturated sources.  A :class:`~repro.sim.runner.SimulationConfig`
+        with an explicit ``packet_rate_pps`` overrides this hint.
     """
 
     name: str
     stations: List[Station]
     pairs: List[TrafficPair]
+    testbed_factory: Optional[Callable[[], "Testbed"]] = None
+    packet_rate_pps: Optional[float] = None
 
     def station_by_name(self, name: str) -> Station:
         """Look up a station by its label."""
@@ -47,6 +83,12 @@ class Scenario:
     def max_antennas(self) -> int:
         """Maximum antenna count among transmitters (= network DoF, §1)."""
         return max(pair.transmitter.n_antennas for pair in self.pairs)
+
+    def make_testbed(self) -> Optional["Testbed"]:
+        """Build this scenario's testbed, or ``None`` for the default floor."""
+        if self.testbed_factory is None:
+            return None
+        return self.testbed_factory()
 
 
 def two_pair_scenario() -> Scenario:
@@ -116,3 +158,131 @@ def custom_pairs_scenario(antenna_counts: List[int], name: str = "custom") -> Sc
         stations.extend([tx, rx])
         pairs.append(TrafficPair(tx, [rx]))
     return Scenario(name, stations, pairs)
+
+
+def dense_lan_scenario(
+    n_pairs: int = 10,
+    antenna_mix: Sequence[int] = (1, 2, 3),
+    seed: int = 0,
+    packet_rate_pps: Optional[float] = None,
+    name: Optional[str] = None,
+) -> Scenario:
+    """A dense LAN: many contending pairs with a heterogeneous antenna mix.
+
+    This is the scaling workload beyond the paper's 2-3 pair topologies:
+    ``n_pairs`` transmitter-receiver pairs (so ``2 * n_pairs`` stations)
+    whose antenna counts are drawn from ``antenna_mix`` -- the default
+    mixes 1x1, 2x2 and 3x3 links like a real office LAN.  The scenario
+    carries a :func:`~repro.channel.testbed.dense_testbed` sized to hold
+    every node, so placements still vary run by run while the topology
+    (which pair has how many antennas) is frozen by ``seed``.
+
+    Parameters
+    ----------
+    n_pairs:
+        Number of traffic pairs.  10-25 pairs give the 20-50 node LANs of
+        the registered ``dense-lan-20/30/50`` scenarios.
+    antenna_mix:
+        Antenna counts to draw from, one draw per pair.  At least one
+        pair is forced to the largest count so the network always has
+        multiple degrees of freedom.
+    seed:
+        Freezes the antenna assignment (not the placements, which are per
+        run).  Factories with the same arguments build identical
+        scenarios, which keeps sweep cache keys stable.
+    packet_rate_pps:
+        Suggested per-flow Poisson rate for the bursty variants; ``None``
+        keeps the paper's saturated sources.
+    name:
+        Scenario label; defaults to ``dense-lan-<n_stations>``.
+    """
+    if n_pairs < 1:
+        raise ConfigurationError("a dense LAN needs at least one pair")
+    if not antenna_mix:
+        raise ConfigurationError("antenna_mix must not be empty")
+    from repro.channel.testbed import dense_testbed
+
+    rng = np.random.default_rng(seed)
+    mix = [int(a) for a in antenna_mix]
+    counts = [mix[int(i)] for i in rng.integers(0, len(mix), size=n_pairs)]
+    if max(counts) == 1 and max(mix) > 1:
+        # Guarantee the network has spare degrees of freedom to share.
+        counts[0] = max(mix)
+
+    stations: List[Station] = []
+    pairs: List[TrafficPair] = []
+    node_id = 0
+    for index, antennas in enumerate(counts, start=1):
+        tx = Station(node_id, antennas, f"tx{index}")
+        rx = Station(node_id + 1, antennas, f"rx{index}")
+        node_id += 2
+        stations.extend([tx, rx])
+        pairs.append(TrafficPair(tx, [rx]))
+
+    n_locations = max(2 * n_pairs + 8, 24)
+    label = name or f"dense-lan-{2 * n_pairs}"
+    return Scenario(
+        label,
+        stations,
+        pairs,
+        testbed_factory=partial(dense_testbed, n_locations=n_locations, seed=seed),
+        packet_rate_pps=packet_rate_pps,
+    )
+
+
+# -- registry -------------------------------------------------------------------
+
+#: Name -> zero-argument factory.  Stable names double as sweep cache keys.
+_SCENARIOS: Dict[str, Callable[[], Scenario]] = {}
+
+
+def register_scenario(
+    name: str, factory: Callable[[], Scenario], overwrite: bool = False
+) -> None:
+    """Register a zero-argument scenario factory under a stable name.
+
+    Registered names are accepted everywhere a scenario is selected: the
+    CLI's ``--scenario`` flag, the figure experiments and
+    :func:`repro.sim.sweep.run_sweep` (where the name also keys the
+    results cache).  Registering a parameterised family is a one-liner
+    with :func:`functools.partial`, as the ``dense-lan-*`` entries below
+    demonstrate.
+    """
+    if name in _SCENARIOS and not overwrite:
+        raise ConfigurationError(f"scenario {name!r} is already registered")
+    _SCENARIOS[name] = factory
+
+
+def scenario_factory(name: str) -> Callable[[], Scenario]:
+    """Look up a registered scenario factory by name.
+
+    Raises :class:`~repro.exceptions.ConfigurationError` with the list of
+    known names on a miss (``help(repro.sim.scenarios)`` and
+    ``python -m repro.cli scenarios`` both show what is available).
+    """
+    try:
+        return _SCENARIOS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; choose from {available_scenarios()}"
+        ) from None
+
+
+def available_scenarios() -> List[str]:
+    """Sorted names of every registered scenario."""
+    return sorted(_SCENARIOS)
+
+
+register_scenario("two-pair", two_pair_scenario)
+register_scenario("three-pair", three_pair_scenario)
+register_scenario("heterogeneous-ap", heterogeneous_ap_scenario)
+# The dense-LAN family: 20/30/50-station saturated LANs plus a bursty
+# 20-station variant (Poisson arrivals instead of saturated sources).
+register_scenario("dense-lan-20", partial(dense_lan_scenario, n_pairs=10, seed=20))
+register_scenario("dense-lan-30", partial(dense_lan_scenario, n_pairs=15, seed=30))
+register_scenario("dense-lan-50", partial(dense_lan_scenario, n_pairs=25, seed=50))
+register_scenario(
+    "dense-lan-20-bursty",
+    partial(dense_lan_scenario, n_pairs=10, seed=20, packet_rate_pps=300.0,
+            name="dense-lan-20-bursty"),
+)

@@ -1,0 +1,424 @@
+"""Parallel experiment orchestration: sweep grids of (placement, protocol).
+
+The paper's headline figures are Monte-Carlo sweeps -- many random node
+placements, each simulated under several MAC protocols.  The serial
+:func:`~repro.sim.runner.run_many` loop computes the ``n_runs x
+n_protocols`` grid one cell at a time; this module computes the same grid
+
+* **in parallel**, fanning cells out over a pool of worker processes, and
+* **incrementally**, memoising every cell in an on-disk results cache
+  keyed by ``(scenario, protocol, run seed, config hash)`` so repeated
+  figure invocations only recompute what actually changed.
+
+Both are possible because every cell is a pure function of its seeds:
+run ``r`` draws placements/channels from ``seed + 1000 * r`` and each
+protocol simulation runs with its own seeded RNG streams (including the
+channel-estimation stream, see
+:meth:`~repro.sim.network.Network.reseed_estimation_noise`).  A parallel
+sweep is therefore **byte-identical** to a serial one for a fixed seed --
+the test suite asserts it -- and cached cells are interchangeable with
+freshly computed ones.
+
+Typical use::
+
+    from repro.sim.sweep import run_sweep
+
+    result = run_sweep(
+        "three-pair", ["802.11n", "n+"], n_runs=50,
+        seed=0, workers=4, cache_dir=".sweep-cache",
+    )
+    result.results["n+"][0].total_throughput_mbps()
+
+Scenarios are usually referred to by registry name
+(:func:`repro.sim.scenarios.register_scenario`), which doubles as the
+cache key; passing a bare callable still works but only caches when an
+explicit ``scenario_key`` is supplied.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import ConfigurationError
+from repro.sim.metrics import NetworkMetrics
+from repro.sim.runner import (
+    SimulationConfig,
+    build_network,
+    mac_seed,
+    placement_seed,
+    run_simulation,
+    simulate_placement,
+)
+from repro.sim.scenarios import Scenario, scenario_factory
+
+__all__ = [
+    "SweepResult",
+    "SweepCache",
+    "run_sweep",
+    "config_digest",
+    "scenario_digest",
+    "default_workers",
+]
+
+#: Bump when the simulation's numeric behaviour changes in a way that
+#: should invalidate previously cached sweep results.
+CACHE_SCHEMA_VERSION = 1
+
+
+def config_digest(config: SimulationConfig) -> str:
+    """Stable hex digest of a :class:`SimulationConfig`.
+
+    Any field change -- duration, subcarriers, packet rate, margins --
+    produces a different digest, which is how the results cache
+    invalidates on config change.
+    """
+    payload = json.dumps(dataclasses.asdict(config), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def scenario_digest(scenario: Scenario) -> str:
+    """Stable hex digest of a scenario's *structure*.
+
+    Covers everything that shapes the simulation: stations (ids, antenna
+    counts, names), traffic pairs (endpoints, streams per receiver), the
+    suggested packet rate, and the testbed (candidate locations, the
+    full link budget and the hardware impairment profile).  Mixed into
+    every cache key next to the registry name, so editing a scenario's
+    definition -- a different antenna mix, a reshaped floor, a changed
+    hardware profile -- invalidates its cached cells automatically
+    instead of replaying stale results under the old name.
+    """
+    testbed = scenario.make_testbed()
+    payload = json.dumps(
+        {
+            "stations": [
+                (s.node_id, s.n_antennas, s.name) for s in scenario.stations
+            ],
+            "pairs": [
+                (
+                    p.transmitter.node_id,
+                    [r.node_id for r in p.receivers],
+                    list(p.streams_per_receiver),
+                )
+                for p in scenario.pairs
+            ],
+            "packet_rate_pps": scenario.packet_rate_pps,
+            "testbed": None
+            if testbed is None
+            else {
+                "locations": [list(xy) for xy in testbed.locations],
+                "tx_power_dbm": testbed.tx_power_dbm,
+                "noise_floor_dbm": testbed.noise_floor_dbm,
+                "path_loss_exponent": testbed.path_loss_exponent,
+                "reference_loss_db": testbed.reference_loss_db,
+                "shadowing_sigma_db": testbed.shadowing_sigma_db,
+                "los_probability": testbed.los_probability,
+                "n_taps": testbed.n_taps,
+                "snr_range_db": [testbed.min_snr_db, testbed.max_snr_db],
+                "hardware": dataclasses.asdict(testbed.hardware),
+            },
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def default_workers() -> int:
+    """Worker count used when ``workers`` is not given: the usable cores."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return max(1, os.cpu_count() or 1)
+
+
+class SweepCache:
+    """On-disk memo of simulated cells, one JSON file per cell.
+
+    A cell is one ``(scenario, protocol, run seed, config)`` simulation;
+    its key is a SHA-256 over those coordinates plus a schema version.
+    Files are written atomically (temp file + rename) so a crashed or
+    parallel writer can never leave a truncated entry, and unreadable
+    entries are treated as misses rather than errors.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def cell_key(
+        self,
+        scenario_key: str,
+        protocol: str,
+        run_seed: int,
+        config: SimulationConfig,
+        scenario_fingerprint: Optional[str] = None,
+    ) -> str:
+        """The cache key of one sweep cell.
+
+        ``scenario_fingerprint`` (see :func:`scenario_digest`) ties the
+        key to the scenario's structure, not just its registry name.
+        """
+        payload = json.dumps(
+            {
+                "schema": CACHE_SCHEMA_VERSION,
+                "scenario": scenario_key,
+                "scenario_fingerprint": scenario_fingerprint,
+                "protocol": protocol,
+                "run_seed": run_seed,
+                "config": dataclasses.asdict(config),
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def load(self, key: str) -> Optional[NetworkMetrics]:
+        """The cached metrics for ``key``, or ``None`` on a miss."""
+        path = self._path(key)
+        try:
+            data = json.loads(path.read_text())
+            return NetworkMetrics.from_dict(data["metrics"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def store(self, key: str, metrics: NetworkMetrics, describe: dict) -> None:
+        """Persist one cell atomically; ``describe`` is stored for humans."""
+        path = self._path(key)
+        payload = json.dumps({"cell": describe, "metrics": metrics.to_dict()}, indent=1)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(payload)
+        os.replace(tmp, path)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one :func:`run_sweep` call.
+
+    Attributes
+    ----------
+    results:
+        ``{protocol: [metrics of run 0, run 1, ...]}`` -- the same shape
+        :func:`repro.sim.runner.run_many` returns.
+    cache_hits, cache_misses:
+        How many cells came from the cache vs were simulated.  A repeated
+        invocation with an unchanged grid reports all hits.
+    workers:
+        Worker processes used for the simulated cells (1 = in-process).
+    """
+
+    results: Dict[str, List[NetworkMetrics]] = field(default_factory=dict)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    workers: int = 1
+
+    @property
+    def n_runs(self) -> int:
+        """Number of placements per protocol."""
+        return len(next(iter(self.results.values()), []))
+
+    def totals_mbps(self, protocol: str) -> List[float]:
+        """Per-run total network throughput of one protocol."""
+        return [m.total_throughput_mbps() for m in self.results[protocol]]
+
+    def link_names(self) -> List[str]:
+        """The traffic-pair names of the swept scenario, in metric order."""
+        runs = next(iter(self.results.values()), [])
+        return list(runs[0].links) if runs else []
+
+
+def _resolve_scenario(
+    scenario: Union[str, Callable[[], Scenario]],
+    scenario_key: Optional[str],
+) -> Tuple[Callable[[], Scenario], Optional[str]]:
+    """Turn a registry name or factory into ``(factory, cache key)``.
+
+    A registry name is its own cache key.  A bare callable is only
+    cacheable with an explicit ``scenario_key`` -- its arguments are not
+    visible here, so guessing a key from its name could silently alias
+    differently-parameterised sweeps.
+    """
+    if isinstance(scenario, str):
+        return scenario_factory(scenario), scenario_key or scenario
+    if not callable(scenario):
+        raise ConfigurationError(
+            f"scenario must be a registered name or a factory, got {scenario!r}"
+        )
+    return scenario, scenario_key
+
+
+def _simulate_cell(args: Tuple) -> NetworkMetrics:
+    """Worker entry point: simulate one (placement, protocol) cell."""
+    factory, protocol, run_seed, config = args
+    return simulate_placement(factory, protocol, run_seed, config)
+
+
+def run_sweep(
+    scenario: Union[str, Callable[[], Scenario]],
+    protocols: Sequence[str],
+    n_runs: int,
+    seed: int = 0,
+    config: Optional[SimulationConfig] = None,
+    workers: Optional[int] = 1,
+    cache_dir: Optional[Union[str, Path]] = None,
+    scenario_key: Optional[str] = None,
+) -> SweepResult:
+    """Sweep ``n_runs`` placements x ``protocols``, in parallel and cached.
+
+    Byte-identical to :func:`repro.sim.runner.run_many` with the same
+    ``(scenario, protocols, n_runs, seed, config)`` -- regardless of
+    worker count, cell execution order, or whether cells were replayed
+    from the cache.
+
+    Parameters
+    ----------
+    scenario:
+        A registered scenario name (preferred; also keys the cache) or a
+        zero-argument factory returning a :class:`Scenario`.
+    protocols:
+        MAC protocol names to compare on every placement.
+    n_runs:
+        Number of random placements.
+    seed:
+        Base seed; run ``r`` uses placement seed ``seed + 1000 * r`` (see
+        :func:`repro.sim.runner.placement_seed`).
+    config:
+        Simulation parameters; part of every cell's cache key.
+    workers:
+        Worker processes for uncached cells.  ``1`` (default) simulates
+        in-process; ``None`` uses every usable core
+        (:func:`default_workers`).  Worker processes must be able to
+        import :mod:`repro`, and callables passed as ``scenario`` must be
+        picklable (module-level functions and :func:`functools.partial`
+        of them are).
+    cache_dir:
+        Directory of the on-disk results cache; ``None`` disables
+        caching.  Entries are invalidated by any change to the scenario
+        name, protocol, seed or config.
+    scenario_key:
+        Cache key override, required to cache a bare-callable
+        ``scenario``.
+
+    Returns
+    -------
+    SweepResult
+        Metrics grid plus cache-hit accounting.
+    """
+    config = config or SimulationConfig()
+    factory, key = _resolve_scenario(scenario, scenario_key)
+    protocols = list(protocols)
+    if not protocols:
+        raise ConfigurationError("need at least one protocol to sweep")
+    if n_runs < 1:
+        raise ConfigurationError("need at least one run to sweep")
+
+    cache = None
+    fingerprint = None
+    if cache_dir is not None:
+        if key is None:
+            raise ConfigurationError(
+                "caching a factory scenario needs an explicit scenario_key"
+            )
+        cache = SweepCache(cache_dir)
+        # Tie keys to the scenario's structure, not just its name, so an
+        # edited scenario definition cannot replay stale cells.
+        fingerprint = scenario_digest(factory())
+
+    def _cell_key(protocol: str, run_seed: int) -> str:
+        return cache.cell_key(key, protocol, run_seed, config, fingerprint)
+
+    grid: Dict[str, List[Optional[NetworkMetrics]]] = {
+        protocol: [None] * n_runs for protocol in protocols
+    }
+    pending: List[Tuple[int, str, int]] = []  # (run, protocol, run_seed)
+    hits = 0
+    for run in range(n_runs):
+        run_seed = placement_seed(seed, run)
+        for protocol in protocols:
+            if cache is not None:
+                cached = cache.load(_cell_key(protocol, run_seed))
+                if cached is not None:
+                    grid[protocol][run] = cached
+                    hits += 1
+                    continue
+            pending.append((run, protocol, run_seed))
+
+    def _record(cell: Tuple[int, str, int], metrics: NetworkMetrics) -> None:
+        run, protocol, run_seed = cell
+        grid[protocol][run] = metrics
+        if cache is not None:
+            # Stored as soon as each cell completes, so an interrupted or
+            # partially failed sweep keeps every finished cell.
+            cache.store(
+                _cell_key(protocol, run_seed),
+                metrics,
+                describe={
+                    "scenario": key,
+                    "scenario_fingerprint": fingerprint,
+                    "protocol": protocol,
+                    "run": run,
+                    "run_seed": run_seed,
+                    "config_digest": config_digest(config),
+                },
+            )
+
+    if pending:
+        n_workers = default_workers() if workers is None else max(1, int(workers))
+        n_workers = min(n_workers, len(pending))
+        if n_workers > 1:
+            tasks = [
+                (factory, protocol, run_seed, config) for _, protocol, run_seed in pending
+            ]
+            # fork keeps the already-imported repro modules; fall back to
+            # spawn where fork is unavailable (e.g. macOS default policies).
+            methods = multiprocessing.get_all_start_methods()
+            ctx = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+            with ctx.Pool(processes=n_workers) as pool:
+                # imap (not map): results stream back cell by cell, and
+                # chunksize=1 keeps uneven cells from queueing behind a
+                # straggler worker.
+                for cell, metrics in zip(
+                    pending, pool.imap(_simulate_cell, tasks, chunksize=1)
+                ):
+                    _record(cell, metrics)
+        else:
+            # In-process: share one network across the protocols of each
+            # run (like run_many) instead of redrawing identical channels
+            # per cell.  Bit-identical either way; the per-cell form is
+            # only needed where cells land on different workers.
+            by_run: Dict[int, List[Tuple[int, str, int]]] = {}
+            for cell in pending:
+                by_run.setdefault(cell[2], []).append(cell)
+            for run_seed, cells in by_run.items():
+                scenario_obj = factory()
+                network = build_network(scenario_obj, run_seed, config)
+                for cell in cells:
+                    _, protocol, _ = cell
+                    metrics = run_simulation(
+                        scenario_obj,
+                        protocol,
+                        seed=mac_seed(run_seed),
+                        config=config,
+                        network=network,
+                    )
+                    _record(cell, metrics)
+    else:
+        n_workers = 1
+
+    return SweepResult(
+        results={protocol: list(column) for protocol, column in grid.items()},
+        cache_hits=hits,
+        cache_misses=len(pending),
+        workers=n_workers if pending else 1,
+    )

@@ -13,6 +13,7 @@ from typing import Optional
 import numpy as np
 
 from repro.constants import DEFAULT_PACKET_SIZE_BYTES
+from repro.exceptions import ConfigurationError
 from repro.mac.frames import Packet
 
 __all__ = ["SaturatedSource", "PoissonSource"]
@@ -38,6 +39,10 @@ class SaturatedSource:
     def has_packet(self, now_us: float) -> bool:
         """Saturated sources always have traffic."""
         return True
+
+    def next_packet_time_us(self, now_us: float) -> float:
+        """When the next packet becomes available (now: always backlogged)."""
+        return now_us
 
     def next_packet(self, now_us: float) -> Packet:
         """Generate the next packet."""
@@ -76,6 +81,13 @@ class PoissonSource:
     _next_arrival_us: Optional[float] = field(default=None, repr=False)
     _next_packet_id: int = field(default=0, repr=False)
 
+    def __post_init__(self) -> None:
+        if self.rate_packets_per_second <= 0:
+            raise ConfigurationError(
+                f"Poisson rate must be positive, got {self.rate_packets_per_second}"
+                " (use a saturated source for always-backlogged traffic)"
+            )
+
     def _ensure_arrival(self, now_us: float) -> None:
         if self._next_arrival_us is None:
             self._next_arrival_us = now_us + self._draw_gap()
@@ -88,6 +100,18 @@ class PoissonSource:
         """Whether a packet has arrived by ``now_us``."""
         self._ensure_arrival(now_us)
         return now_us >= self._next_arrival_us
+
+    def next_packet_time_us(self, now_us: float) -> float:
+        """Absolute time of the next arrival.
+
+        Used by the event-driven runner to jump over idle gaps in one
+        scheduler event instead of polling slot by slot.  Reading this
+        does not consume randomness beyond what :meth:`has_packet` at the
+        same instant would, so seeded runs stay byte-identical to the
+        slot-polling loop.
+        """
+        self._ensure_arrival(now_us)
+        return float(self._next_arrival_us)
 
     def next_packet(self, now_us: float) -> Packet:
         """Pop the arrived packet and schedule the next arrival."""

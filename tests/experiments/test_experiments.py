@@ -138,3 +138,18 @@ class TestHandshakeOverhead:
 
     def test_summary_renders(self, result):
         assert "overhead" in sh(result)
+
+    def test_batched_subspaces_match_reference(self):
+        """The one-shot batched SVD equals the per-subcarrier loop."""
+        from repro.channel.testbed import default_testbed
+        from repro.experiments.handshake_overhead import _alignment_subspaces_reference
+        from repro.utils.linalg import orthonormal_complement_batch
+
+        rng = np.random.default_rng(3)
+        testbed = default_testbed()
+        a, b = testbed.place_nodes(2, rng)
+        link = testbed.link(a, b, n_tx=1, n_rx=2, rng=rng)
+        response = link.frequency_response(64)
+        reference = _alignment_subspaces_reference(response)
+        batched = orthonormal_complement_batch(response, 1)
+        np.testing.assert_allclose(batched, reference, atol=1e-12)

@@ -8,7 +8,9 @@ from repro.cli import build_parser, main
 class TestParser:
     def test_known_commands_parse(self):
         parser = build_parser()
-        for command in ("fig9", "fig11", "fig12", "fig13", "handshake", "all"):
+        for command in (
+            "fig9", "fig11", "fig12", "fig13", "handshake", "scenarios", "sweep", "all"
+        ):
             args = parser.parse_args([command])
             assert args.command == command
 
@@ -30,6 +32,21 @@ class TestParser:
         assert args.duration_ms == 25.0
         assert args.seed == 9
 
+    def test_sweep_options(self):
+        args = build_parser().parse_args(
+            [
+                "sweep",
+                "--scenario", "dense-lan-20",
+                "--protocols", "802.11n,n+",
+                "--workers", "4",
+                "--cache-dir", "/tmp/cache",
+            ]
+        )
+        assert args.scenario == "dense-lan-20"
+        assert args.protocols == "802.11n,n+"
+        assert args.workers == 4
+        assert args.cache_dir == "/tmp/cache"
+
 
 class TestMain:
     def test_handshake_command_runs(self, capsys):
@@ -49,3 +66,27 @@ class TestMain:
         captured = capsys.readouterr()
         assert exit_code == 0
         assert "802.11n" in captured.out
+
+    def test_scenarios_command_lists_registry(self, capsys):
+        exit_code = main(["scenarios"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        for name in ("three-pair", "dense-lan-20", "dense-lan-50"):
+            assert name in captured.out
+
+    def test_sweep_command_runs_with_cache(self, capsys, tmp_path):
+        argv = [
+            "sweep",
+            "--scenario", "three-pair",
+            "--protocols", "802.11n,n+",
+            "--runs", "1",
+            "--duration-ms", "8",
+            "--subcarriers", "8",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "0 cell(s) from cache, 2 simulated" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "2 cell(s) from cache, 0 simulated" in second

@@ -1,0 +1,54 @@
+"""Smoke tests: every example script runs headless and exits cleanly.
+
+Each example carries its own assertions about the paper's claims; this
+suite executes them as subprocesses with ``REPRO_QUICK=1`` (which the
+examples honour by shrinking trial counts and simulated durations) so a
+broken public API or a silently failing walkthrough fails the tier-1
+suite instead of the next reader.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES_DIR = REPO_ROOT / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_every_example_is_covered():
+    """New examples must be picked up by the glob (guards renames)."""
+    names = {path.name for path in EXAMPLES}
+    assert {
+        "quickstart.py",
+        "bursty_traffic.py",
+        "carrier_sense_demo.py",
+        "heterogeneous_lan.py",
+        "join_ongoing_transmissions.py",
+    } <= names
+
+
+@pytest.mark.parametrize("example", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_headless(example):
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    env["REPRO_QUICK"] = "1"
+    result = subprocess.run(
+        [sys.executable, str(example)],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"{example.name} failed with exit code {result.returncode}\n"
+        f"stdout:\n{result.stdout[-2000:]}\nstderr:\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{example.name} printed nothing"
