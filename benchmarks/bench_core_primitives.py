@@ -10,9 +10,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.channel.multipath import MultipathChannel
 from repro.mac.plan import PlannedReceiver, ProtectedReceiver, plan_join
 from repro.mimo.carrier_sense import MultiDimensionalCarrierSense
+from repro.phy.channel_est import estimate_mimo_channel
 from repro.phy.coding import Codec
+from repro.phy.preamble import Preamble
 from repro.phy.rates import MCS_TABLE
 from repro.phy.transceiver import MimoTransmitter, StreamConfig
 from repro.utils.bits import random_bits
@@ -49,6 +52,19 @@ def bench_carrier_sense_projection(benchmark):
 
     result = benchmark(lambda: sensor.sense(samples))
     assert result is not None
+
+
+def bench_estimate_mimo_channel_3x3(benchmark):
+    """Cost of estimating a full 3x3 MIMO channel from one preamble (all
+    (tx, rx) antenna pairs in one stacked demodulation + least squares)."""
+    rng = np.random.default_rng(6)
+    preamble = Preamble(n_antennas=3)
+    tx_samples = preamble.per_antenna_samples()
+    channel = MultipathChannel.random(3, 3, rng, n_taps=4)
+    received = channel.apply(tx_samples)
+
+    estimate = benchmark(lambda: estimate_mimo_channel(received, preamble))
+    assert estimate.n_rx == 3 and estimate.n_tx == 3
 
 
 def bench_codec_encode_1500_bytes(benchmark):

@@ -33,7 +33,10 @@ BASELINE_PATH = REPO_ROOT / "BENCH_core.json"
 #: Benchmark files whose timings are tracked against the baseline.  The
 #: figure-reproduction benchmarks are excluded: they are experiment
 #: re-runs, not per-packet hot paths.
-TRACKED_FILES = ["benchmarks/bench_core_primitives.py"]
+TRACKED_FILES = [
+    "benchmarks/bench_core_primitives.py",
+    "benchmarks/bench_dense_rounds.py",
+]
 
 
 def run_suite() -> dict:

@@ -48,10 +48,26 @@ class BaseMacAgent:
     bitrate_margin_db:
         Safety margin subtracted from the measured effective SNR before
         choosing a bitrate.
+    arrival_seed:
+        Optional seed prefix (any sequence :func:`numpy.random.default_rng`
+        accepts) for the Poisson arrival processes.  When given, every
+        (transmitter, receiver) flow draws its arrivals from its own
+        stream seeded ``(*arrival_seed, transmitter_id, receiver_id)``, so
+        the arrival sequence of a flow is a pure function of the seed and
+        the flow's endpoints -- independent of the order agents are
+        created or refilled in.  When omitted, arrivals fall back to the
+        shared ``rng`` (the historical behaviour, which interleaves draws
+        across agents in refill order).
     """
 
     protocol_name = "base"
     supports_joining = False
+    #: Whether :meth:`can_join` is equivalent to the vectorized
+    #: join-eligibility rule of the batched round pipeline (see
+    #: ``repro.sim.runner._BatchedEventDrivenLoop``).  Joining protocols
+    #: that set this advertise that the runner may skip their per-agent
+    #: ``can_join`` calls in favour of the array computation.
+    vectorized_join_eligibility = False
 
     def __init__(
         self,
@@ -61,6 +77,7 @@ class BaseMacAgent:
         packet_size_bytes: int = 1500,
         bitrate_margin_db: float = 0.0,
         packet_rate_pps: Optional[float] = None,
+        arrival_seed: Optional[Sequence[int]] = None,
     ) -> None:
         self.pair = pair
         self.network = network
@@ -69,6 +86,10 @@ class BaseMacAgent:
         self.contender = DcfContender(node_id=pair.transmitter.node_id)
         self.queues: Dict[int, RetransmissionQueue] = {}
         self.sources: Dict[int, object] = {}
+        self._traffic_listener = None
+        self._receiver_antennas: Dict[int, int] = {
+            receiver.node_id: receiver.n_antennas for receiver in pair.receivers
+        }
         for receiver in pair.receivers:
             self.queues[receiver.node_id] = RetransmissionQueue()
             if packet_rate_pps is None:
@@ -80,11 +101,17 @@ class BaseMacAgent:
             else:
                 from repro.sim.traffic import PoissonSource
 
+                if arrival_seed is None:
+                    arrival_rng = rng
+                else:
+                    arrival_rng = np.random.default_rng(
+                        (*arrival_seed, pair.transmitter.node_id, receiver.node_id)
+                    )
                 self.sources[receiver.node_id] = PoissonSource(
                     source_id=pair.transmitter.node_id,
                     destination_id=receiver.node_id,
                     rate_packets_per_second=packet_rate_pps,
-                    rng=rng,
+                    rng=arrival_rng,
                     packet_size_bytes=packet_size_bytes,
                 )
         self._round_robin = 0
@@ -108,12 +135,70 @@ class BaseMacAgent:
 
     # -- traffic --------------------------------------------------------------------
 
+    def attach_traffic_listener(self, listener) -> None:
+        """Register the batched traffic-state arrays this agent reports to.
+
+        ``listener`` is a :class:`~repro.sim.traffic.TrafficStateArrays`
+        (or anything with its ``agent_refilled`` / ``agent_outcome``
+        callbacks).  Once attached, every :meth:`refill` and
+        :meth:`record_outcome` pushes the agent's new traffic state, which
+        is what keeps the arrays incremental instead of rescanned.
+        """
+        self._traffic_listener = listener
+
+    def _queue_snapshot(self) -> tuple:
+        """``(backlogged, join_rx_antennas, queue_space)`` of the queues.
+
+        ``queue_space`` -- some queue is below the refill target, i.e. a
+        future refill could actually move packets -- is what lets the
+        batched pipeline skip the no-op refills of agents whose queues are
+        full even though arrivals are pending.
+        """
+        backlogged = False
+        join_rx_antennas = 0
+        queue_space = False
+        for receiver_id, queue in self.queues.items():
+            if len(queue) < _QUEUE_TARGET:
+                queue_space = True
+            if queue.has_traffic:
+                backlogged = True
+                antennas = self._receiver_antennas[receiver_id]
+                if antennas > join_rx_antennas:
+                    join_rx_antennas = antennas
+        return backlogged, join_rx_antennas, queue_space
+
+    def _next_source_arrival_us(self, now_us: float) -> float:
+        """Earliest pending arrival across sources (``inf`` for saturated).
+
+        Always-backlogged sources report ``inf`` rather than ``now``: their
+        agents are kept backlogged by every refill, so the arrival column
+        is only ever consulted for sources that can run dry -- reporting
+        ``inf`` keeps saturated agents out of the due-for-refill mask.
+        """
+        earliest = float("inf")
+        for source in self.sources.values():
+            if getattr(source, "always_backlogged", False):
+                continue
+            arrival = source.next_packet_time_us(now_us)
+            if arrival < earliest:
+                earliest = arrival
+        return earliest
+
     def refill(self, now_us: float) -> None:
         """Top up the per-receiver queues from the traffic sources."""
         for receiver_id, queue in self.queues.items():
             source = self.sources[receiver_id]
             while len(queue) < _QUEUE_TARGET and source.has_packet(now_us):
                 queue.enqueue(source.next_packet(now_us))
+        if self._traffic_listener is not None:
+            backlogged, join_rx_antennas, queue_space = self._queue_snapshot()
+            self._traffic_listener.agent_refilled(
+                self.node_id,
+                backlogged,
+                self._next_source_arrival_us(now_us),
+                join_rx_antennas,
+                queue_space,
+            )
 
     def has_traffic(self, now_us: float) -> bool:
         """Whether the agent wants to contend right now."""
@@ -222,10 +307,15 @@ class BaseMacAgent:
         if delivered:
             queue.acknowledge(attempted_bits)
             self.contender.record_success()
-            return attempted_bits
-        queue.fail()
-        self.contender.record_collision()
-        return 0
+            acknowledged = attempted_bits
+        else:
+            queue.fail()
+            self.contender.record_collision()
+            acknowledged = 0
+        if self._traffic_listener is not None:
+            backlogged, join_rx_antennas, _ = self._queue_snapshot()
+            self._traffic_listener.agent_outcome(self.node_id, backlogged, join_rx_antennas)
+        return acknowledged
 
     # -- shared helpers for subclasses -------------------------------------------------------------
 

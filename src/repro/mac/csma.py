@@ -13,7 +13,7 @@ statistics of slot-by-slot simulation for saturated sources.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 
@@ -93,12 +93,26 @@ def resolve_contention(
     frames as lost.  The contention-window updates (doubling on collision,
     reset on success) are the caller's responsibility because it knows the
     eventual outcome of the transmission.
+
+    Backoffs are drawn in ascending ``node_id`` order regardless of how
+    the caller ordered ``contenders``, so the outcome of a seeded round
+    depends only on *which* nodes contend, never on the iteration order
+    of whatever container they came from.  All counters come from a
+    single array-bounded ``rng.integers`` draw (one RNG call per round
+    instead of one per contender -- the O(n_nodes) cost the batched round
+    pipeline removes); each counter is uniform on the contender's own
+    ``[0, cw]`` window exactly as :meth:`DcfContender.draw_backoff` draws
+    it.
     """
     if not contenders:
         return ContentionRound(winners=(), backoff_slots=0, start_delay_us=difs_us, collision=False)
-    draws: Dict[int, int] = {c.node_id: c.draw_backoff(rng) for c in contenders}
-    smallest = min(draws.values())
-    winners = tuple(sorted(node for node, value in draws.items() if value == smallest))
+    ordered = sorted(contenders, key=lambda c: c.node_id)
+    highs = np.array([c.contention_window for c in ordered], dtype=np.int64)
+    values = rng.integers(0, highs + 1)
+    smallest = int(values.min())
+    winners = tuple(
+        c.node_id for c, value in zip(ordered, values) if value == smallest
+    )
     return ContentionRound(
         winners=winners,
         backoff_slots=smallest,

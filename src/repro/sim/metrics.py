@@ -85,7 +85,15 @@ class NetworkMetrics:
     links: Dict[str, LinkMetrics] = field(default_factory=dict)
 
     def link(self, pair_name: str) -> LinkMetrics:
-        """Get (or create) the metrics of a pair."""
+        """Get (or create) the metrics of a pair.
+
+        This is the *recording* accessor used by the simulation loops;
+        looking up a pair that has no entry yet creates one.  Read paths
+        (:meth:`throughput_mbps`, :meth:`fairness_index`, ...) must never
+        use it: creating a zero-valued ``LinkMetrics`` as a side effect of
+        a query would silently change aggregates such as the Jain-index
+        denominator.
+        """
         if pair_name not in self.links:
             self.links[pair_name] = LinkMetrics(pair_name=pair_name)
         return self.links[pair_name]
@@ -97,8 +105,16 @@ class NetworkMetrics:
         return sum(m.throughput_mbps(self.elapsed_us) for m in self.links.values())
 
     def throughput_mbps(self, pair_name: str) -> float:
-        """Throughput of one pair, Mb/s."""
-        return self.link(pair_name).throughput_mbps(self.elapsed_us)
+        """Throughput of one pair, Mb/s.
+
+        A pure query: asking about a pair that never transmitted returns
+        0.0 without creating a metrics entry for it (so repeated queries
+        cannot shift :meth:`fairness_index` or the serialised form).
+        """
+        metrics = self.links.get(pair_name)
+        if metrics is None:
+            return 0.0
+        return metrics.throughput_mbps(self.elapsed_us)
 
     def per_link_throughputs(self) -> Dict[str, float]:
         """Throughput of every pair, Mb/s."""

@@ -22,6 +22,15 @@ condensed ``while`` loop is kept as
 :func:`_run_simulation_condensed_reference` and the test suite asserts
 that both produce bit-identical metrics.
 
+The per-round MAC queries themselves are batched by default
+(``pipeline="batched"``): agents mirror their traffic state into
+:class:`~repro.sim.traffic.TrafficStateArrays` and the runner evaluates
+the ``has_traffic`` / ``next_traffic_time_us`` / join-eligibility masks
+for all agents with a handful of array operations per round, instead of
+one Python call per agent -- the difference between a 6-station paper
+topology and the ``dense-lan-100/200`` scenarios.  The per-agent scans
+are kept as ``pipeline="per-agent"`` and asserted bit-identical.
+
 The per-run environment (placements, channels) is frozen in a
 :class:`~repro.sim.network.Network`, so different protocols can be
 compared on identical channel realisations, as the paper does by running
@@ -51,6 +60,7 @@ from repro.sim.medium import Medium, ScheduledStream
 from repro.sim.metrics import NetworkMetrics
 from repro.sim.network import Network
 from repro.sim.scenarios import Scenario
+from repro.sim.traffic import TrafficStateArrays
 
 __all__ = [
     "SimulationConfig",
@@ -70,6 +80,13 @@ _PROTOCOLS: Dict[str, Callable] = {}
 #: Stream tag mixed into the simulation seed for channel-estimation noise,
 #: so the estimation stream is decorrelated from backoff/delivery draws.
 _ESTIMATION_STREAM_TAG = 0x657374  # "est"
+
+#: Stream tag mixed into the simulation seed for Poisson packet arrivals.
+#: Every (transmitter, receiver) flow draws its arrivals from its own
+#: stream seeded ``(seed, tag, tx, rx)``, so arrival sequences do not
+#: depend on the order agents are built or refilled in -- the same
+#: order-independence contract channel-estimation noise already has.
+_ARRIVAL_STREAM_TAG = 0x617272  # "arr"
 
 
 def mac_factory(protocol: str) -> Callable:
@@ -176,9 +193,11 @@ def _build_agents(
     protocol: str,
     rng: np.random.Generator,
     config: SimulationConfig,
+    seed: Optional[int] = None,
 ) -> Dict[int, object]:
     agent_class = mac_factory(protocol)
     packet_rate = _effective_packet_rate(scenario, config)
+    arrival_seed = None if seed is None else (seed, _ARRIVAL_STREAM_TAG)
     agents: Dict[int, object] = {}
     for pair in scenario.pairs:
         agents[pair.transmitter.node_id] = agent_class(
@@ -188,6 +207,7 @@ def _build_agents(
             packet_size_bytes=config.packet_size_bytes,
             bitrate_margin_db=config.bitrate_margin_db,
             packet_rate_pps=packet_rate,
+            arrival_seed=arrival_seed,
         )
     return agents
 
@@ -237,6 +257,51 @@ def _evaluate_group(
     return bool(rng.random() < probability)
 
 
+def _slot_aligned_idle_end_reference(
+    now_us: float, next_arrival_us: float, duration_us: float
+) -> float:
+    """Slot-by-slot walk across an idle gap (the readable reference).
+
+    This is exactly the condensed loop's polling: step the clock one 9 us
+    slot at a time until the next arrival (or the window end) is reached,
+    accumulating floating-point rounding along the way.  O(gap / slot)
+    Python iterations -- degenerate for sparse bursty traffic, which is
+    why the runners use :func:`_slot_aligned_idle_end` instead.
+    """
+    time = now_us + SLOT_TIME_US
+    while time < next_arrival_us and time < duration_us:
+        time += SLOT_TIME_US
+    return time
+
+
+def _slot_aligned_idle_end(
+    now_us: float, next_arrival_us: float, duration_us: float
+) -> float:
+    """First slot boundary at or past the next arrival (or window end).
+
+    Bit-for-bit equal to :func:`_slot_aligned_idle_end_reference`: the
+    slot times are generated with ``np.cumsum`` over ``[now + slot, slot,
+    slot, ...]``, whose sequential left-to-right float64 additions
+    reproduce the reference's ``time += SLOT_TIME_US`` accumulation
+    exactly (a closed form ``now + k * slot`` would round differently).
+    The boundary slot is then located with a binary search, in bounded
+    chunks so a day-long gap cannot allocate an unbounded array.
+    """
+    target = min(next_arrival_us, duration_us)
+    time = now_us + SLOT_TIME_US
+    while time < target:
+        estimated_steps = (target - time) / SLOT_TIME_US
+        size = int(min(max(estimated_steps + 2.0, 16.0), 65536.0))
+        steps = np.full(size, SLOT_TIME_US)
+        steps[0] = time
+        times = np.cumsum(steps)
+        index = int(np.searchsorted(times, target, side="left"))
+        if index < size:
+            return float(times[index])
+        time = float(times[-1])
+    return time
+
+
 class _EventDrivenLoop:
     """Drives the contention/transmission rounds on an :class:`EventScheduler`.
 
@@ -247,7 +312,17 @@ class _EventDrivenLoop:
     future) are crossed in a single event scheduled at the first busy
     slot, instead of one iteration per 9 us slot, which is what lets the
     runner scale to many lightly-loaded nodes.
+
+    The per-round queries are factored into three hooks --
+    :meth:`_contending_agents`, :meth:`_next_traffic_time_us` and
+    :meth:`_join_eligible` -- implemented here as the straightforward
+    per-agent scans.  :class:`_BatchedEventDrivenLoop` overrides them with
+    array computations over :class:`~repro.sim.traffic.TrafficStateArrays`;
+    this class is the readable reference pipeline the batched one is
+    asserted bit-identical against.
     """
+
+    pipeline_name = "per-agent"
 
     def __init__(
         self,
@@ -256,11 +331,12 @@ class _EventDrivenLoop:
         rng: np.random.Generator,
         config: SimulationConfig,
         network: Network,
+        seed: Optional[int] = None,
     ) -> None:
         self.config = config
         self.rng = rng
         self.network = network
-        self.agents = _build_agents(scenario, network, protocol, rng, config)
+        self.agents = _build_agents(scenario, network, protocol, rng, config, seed)
         self.medium = Medium()
         self.metrics = NetworkMetrics()
         for pair in scenario.pairs:
@@ -276,6 +352,29 @@ class _EventDrivenLoop:
         self.metrics.elapsed_us = self.scheduler.now_us
         return self.metrics
 
+    # -- per-round queries (overridden by the batched pipeline) -----------------
+
+    def _contending_agents(self, now: float) -> List[object]:
+        """Agents that want to contend right now (refills their queues)."""
+        return [agent for agent in self.agents.values() if agent.has_traffic(now)]
+
+    def _next_traffic_time_us(self, now: float) -> float:
+        """Earliest time any agent could want to contend again."""
+        return min(
+            (agent.next_traffic_time_us(now) for agent in self.agents.values()),
+            default=float("inf"),
+        )
+
+    def _join_eligible(self, now: float, exhausted: set) -> List[object]:
+        """Agents eligible for this secondary-contention round."""
+        return [
+            agent
+            for agent in self.agents.values()
+            if agent.supports_joining
+            and agent.node_id not in exhausted
+            and agent.can_join(now, self.medium, self.config.min_join_airtime_us)
+        ]
+
     # -- event handlers ---------------------------------------------------------
 
     def _schedule_round(self, time_us: float) -> None:
@@ -288,16 +387,9 @@ class _EventDrivenLoop:
         quantisation to slot multiples of the current time and its stop at
         the window end) without calling into the agents at every slot.
         """
-        next_arrival = min(
-            (agent.next_traffic_time_us(now) for agent in self.agents.values()),
-            default=float("inf"),
+        return _slot_aligned_idle_end(
+            now, self._next_traffic_time_us(now), self.config.duration_us
         )
-        # Step in slot increments exactly like the condensed loop so the
-        # accumulated floating-point time matches it bit for bit.
-        time = now + SLOT_TIME_US
-        while time < next_arrival and time < self.config.duration_us:
-            time += SLOT_TIME_US
-        return time
 
     def _round(self) -> None:
         now = self.scheduler.now_us
@@ -305,7 +397,7 @@ class _EventDrivenLoop:
         if now >= config.duration_us:
             return  # window over; nothing rescheduled, the queue drains
 
-        contending = [agent for agent in self.agents.values() if agent.has_traffic(now)]
+        contending = self._contending_agents(now)
         if not contending:
             self._schedule_round(self._idle_poll_time(now))
             return
@@ -351,13 +443,7 @@ class _EventDrivenLoop:
             sense_start = body_start
             exhausted: set = set()
             while True:
-                eligible = [
-                    agent
-                    for agent in agents.values()
-                    if agent.supports_joining
-                    and agent.node_id not in exhausted
-                    and agent.can_join(sense_start, medium, config.min_join_airtime_us)
-                ]
+                eligible = self._join_eligible(sense_start, exhausted)
                 if not eligible:
                     break
                 join_round = resolve_contention([a.contender for a in eligible], rng)
@@ -416,12 +502,108 @@ class _EventDrivenLoop:
         self._schedule_round(max(end_of_round, now + SLOT_TIME_US))
 
 
+class _BatchedEventDrivenLoop(_EventDrivenLoop):
+    """The batched round pipeline: per-round queries as array operations.
+
+    Identical round mechanics to :class:`_EventDrivenLoop`, but the three
+    per-round scans -- who has traffic, when does traffic arrive next, who
+    may join -- are computed for all agents at once from the incrementally
+    maintained :class:`~repro.sim.traffic.TrafficStateArrays`, so a round
+    costs Python-level work only for the agents whose state changed
+    (participants and due Poisson arrivals) plus O(1) array operations,
+    instead of one ``has_traffic`` / ``can_join`` call per agent.  The
+    test suite asserts this pipeline's metrics are bit-identical to the
+    per-agent reference (and to the condensed slot-polling loop).
+    """
+
+    pipeline_name = "batched"
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        protocol: str,
+        rng: np.random.Generator,
+        config: SimulationConfig,
+        network: Network,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__(scenario, protocol, rng, config, network, seed)
+        self.arrays = TrafficStateArrays(self.agents.values())
+        # The vectorized join mask encodes the n+ eligibility rule; fall
+        # back to per-agent ``can_join`` for any joining protocol that has
+        # not declared its rule equivalent.
+        self._vectorized_join = all(
+            agent.vectorized_join_eligibility
+            for agent in self.agents.values()
+            if agent.supports_joining
+        )
+
+    # -- batched per-round queries ----------------------------------------------
+
+    def _contending_agents(self, now: float) -> List[object]:
+        arrays = self.arrays
+        due = arrays.refill_due(now)
+        if due.any():
+            arrays.refill(now, due)
+        backlogged = arrays.backlogged
+        if not backlogged.any():
+            return []
+        if backlogged.all():
+            return arrays.agents
+        return [arrays.agents[index] for index in np.nonzero(backlogged)[0]]
+
+    def _next_traffic_time_us(self, now: float) -> float:
+        return self.arrays.next_traffic_time_us(now)
+
+    def _join_eligible(self, now: float, exhausted: set) -> List[object]:
+        if not self._vectorized_join:
+            return super()._join_eligible(now, exhausted)
+        arrays, medium = self.arrays, self.medium
+        joinable = arrays.supports_joining
+        if exhausted:
+            joinable = joinable & ~np.isin(arrays.node_ids, list(exhausted))
+        if not joinable.any():
+            return []
+        # ``can_join`` refills (through ``has_traffic``) before its other
+        # checks, for every joinable agent -- replay those side effects
+        # first so Poisson pops land at the same instants as the per-agent
+        # pipeline's, then evaluate the eligibility rule on the arrays.
+        due = joinable & arrays.refill_due(now)
+        if due.any():
+            arrays.refill(now, due)
+        if not medium.busy:
+            return []
+        if medium.current_end_us - now < self.config.min_join_airtime_us:
+            return []
+        used = medium.used_degrees_of_freedom
+        mask = (
+            joinable
+            & arrays.backlogged
+            & (arrays.n_antennas > used)
+            & (arrays.join_rx_antennas > used)
+        )
+        if not mask.any():
+            return []
+        busy_nodes = medium.transmitting_nodes() + medium.receiving_nodes()
+        mask &= ~np.isin(arrays.node_ids, busy_nodes)
+        return [arrays.agents[index] for index in np.nonzero(mask)[0]]
+
+
+#: Pipeline name -> event-driven loop implementation.  Both produce
+#: bit-identical metrics; "per-agent" is the readable reference.
+_PIPELINES: Dict[str, type] = {
+    _BatchedEventDrivenLoop.pipeline_name: _BatchedEventDrivenLoop,
+    _EventDrivenLoop.pipeline_name: _EventDrivenLoop,
+}
+
+
 def run_simulation(
     scenario: Scenario,
     protocol: str,
     seed: int = 0,
     config: Optional[SimulationConfig] = None,
     network: Optional[Network] = None,
+    pipeline: str = "batched",
 ) -> NetworkMetrics:
     """Simulate one run of ``protocol`` on ``scenario``.
 
@@ -448,8 +630,23 @@ def run_simulation(
         Reuse an existing network (same placements/channels) instead of
         drawing a new one -- this is how protocols are compared on the
         same channel realisation.
+    pipeline:
+        ``"batched"`` (default) evaluates the per-round MAC queries --
+        who has traffic, when does traffic arrive next, who may join --
+        as array operations over all agents at once;  ``"per-agent"``
+        runs the readable reference pipeline that asks every agent
+        individually.  Both produce bit-identical metrics (the test suite
+        asserts it), so the choice never affects results, only speed --
+        which is why ``pipeline`` is deliberately not part of the sweep
+        cache key.
     """
     config = config or SimulationConfig()
+    try:
+        loop_class = _PIPELINES[pipeline]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown pipeline {pipeline!r}; choose from {sorted(_PIPELINES)}"
+        ) from None
     rng = np.random.default_rng(seed)
     if network is None:
         network = Network(
@@ -460,7 +657,7 @@ def run_simulation(
             n_subcarriers=config.n_subcarriers,
         )
     network.reseed_estimation_noise((seed, _ESTIMATION_STREAM_TAG))
-    loop = _EventDrivenLoop(scenario, protocol, rng, config, network)
+    loop = loop_class(scenario, protocol, rng, config, network, seed=seed)
     return loop.run()
 
 
@@ -490,7 +687,7 @@ def _run_simulation_condensed_reference(
             n_subcarriers=config.n_subcarriers,
         )
     network.reseed_estimation_noise((seed, _ESTIMATION_STREAM_TAG))
-    agents = _build_agents(scenario, network, protocol, rng, config)
+    agents = _build_agents(scenario, network, protocol, rng, config, seed)
     medium = Medium()
     metrics = NetworkMetrics()
     for pair in scenario.pairs:

@@ -12,8 +12,10 @@ stable string::
     >>> scenario = scenario_factory("three-pair")()
 
 The ``dense-lan-*`` family models the production-scale regime the
-ROADMAP asks for: 20-50 node LANs with heterogeneous 1x1/2x2/3x3 antenna
+ROADMAP asks for: 20-200 node LANs with heterogeneous 1x1/2x2/3x3 antenna
 mixes on a larger synthetic floor, in saturated and bursty variants.
+The 100/200-station tier is the workload of the batched round pipeline
+(``repro.sim.runner``, ``pipeline="batched"``).
 """
 
 from __future__ import annotations
@@ -181,7 +183,8 @@ def dense_lan_scenario(
     ----------
     n_pairs:
         Number of traffic pairs.  10-25 pairs give the 20-50 node LANs of
-        the registered ``dense-lan-20/30/50`` scenarios.
+        the registered ``dense-lan-20/30/50`` scenarios; 50 and 100 pairs
+        give the ``dense-lan-100/200`` tier.
     antenna_mix:
         Antenna counts to draw from, one draw per pair.  At least one
         pair is forced to the largest count so the network always has
@@ -285,4 +288,22 @@ register_scenario(
     "dense-lan-20-bursty",
     partial(dense_lan_scenario, n_pairs=10, seed=20, packet_rate_pps=300.0,
             name="dense-lan-20-bursty"),
+)
+# The 100/200-station tier served by the batched round pipeline.  At this
+# density a saturated LAN is contention-bound (the paper's DCF model
+# collapses under 50+ simultaneous contenders, which is itself a result
+# worth reproducing), so each size also ships a bursty variant where
+# single-winner rounds, joins and idle gaps all occur -- the workload the
+# per-round batching is measured on (benchmarks/bench_dense_rounds.py).
+register_scenario("dense-lan-100", partial(dense_lan_scenario, n_pairs=50, seed=100))
+register_scenario("dense-lan-200", partial(dense_lan_scenario, n_pairs=100, seed=200))
+register_scenario(
+    "dense-lan-100-bursty",
+    partial(dense_lan_scenario, n_pairs=50, seed=100, packet_rate_pps=150.0,
+            name="dense-lan-100-bursty"),
+)
+register_scenario(
+    "dense-lan-200-bursty",
+    partial(dense_lan_scenario, n_pairs=100, seed=200, packet_rate_pps=150.0,
+            name="dense-lan-200-bursty"),
 )

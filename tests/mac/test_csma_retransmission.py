@@ -74,6 +74,26 @@ class TestResolveContention:
         values = list(wins.values())
         assert max(values) - min(values) < 0.2 * sum(values)
 
+    def test_outcome_is_independent_of_contender_order(self, rng_factory):
+        """The same seeded round yields the same winners no matter how the
+        caller happened to order the contender list (backoffs are drawn in
+        canonical node-id order)."""
+        for trial in range(50):
+            contenders = [DcfContender(node_id) for node_id in (5, 1, 9, 3, 7)]
+            forward = resolve_contention(contenders, rng_factory(trial))
+            backward = resolve_contention(list(reversed(contenders)), rng_factory(trial))
+            assert forward == backward
+
+    def test_backoffs_respect_per_node_windows(self, rng):
+        """The single array draw must honour each contender's own window."""
+        wide = DcfContender(1)
+        for _ in range(4):
+            wide.record_collision()
+        narrow = DcfContender(2)
+        for _ in range(500):
+            outcome = resolve_contention([wide, narrow], rng)
+            assert 0 <= outcome.backoff_slots <= narrow.contention_window
+
 
 class TestRetransmissionQueue:
     def test_enqueue_and_backlog(self):

@@ -6,7 +6,11 @@ import pytest
 from repro.channel.models import awgn
 from repro.channel.multipath import MultipathChannel
 from repro.exceptions import DimensionError
-from repro.phy.channel_est import estimate_channel_from_ltf, estimate_mimo_channel
+from repro.phy.channel_est import (
+    _estimate_mimo_channel_reference,
+    estimate_channel_from_ltf,
+    estimate_mimo_channel,
+)
 from repro.phy.ofdm import OfdmConfig
 from repro.phy.preamble import Preamble, long_training_field
 
@@ -87,3 +91,42 @@ class TestMimoEstimation:
         estimate = estimate_mimo_channel(padded, preamble, preamble_start=37)
         for k in estimate.valid_bins[:5]:
             assert np.allclose(estimate.at(k), channel, atol=1e-6)
+
+
+class TestBatchedEstimationEquivalence:
+    """The stacked all-antenna-pair estimator vs the kept per-pair loop."""
+
+    @pytest.mark.parametrize("n_tx,n_rx", [(1, 1), (2, 2), (3, 3), (2, 3), (3, 2)])
+    def test_bit_identical_to_reference(self, n_tx, n_rx, rng):
+        preamble = Preamble(n_antennas=n_tx)
+        tx_samples = preamble.per_antenna_samples()
+        channel = MultipathChannel.random(n_rx, n_tx, rng, n_taps=4)
+        received = awgn(channel.apply(tx_samples), 0.02, rng)
+        fast = estimate_mimo_channel(received, preamble)
+        reference = _estimate_mimo_channel_reference(received, preamble)
+        assert np.array_equal(fast.matrices, reference.matrices)
+        assert np.array_equal(fast.valid_bins, reference.valid_bins)
+
+    def test_bit_identical_with_preamble_offset(self, rng):
+        preamble = Preamble(n_antennas=3)
+        tx_samples = preamble.per_antenna_samples()
+        channel = MultipathChannel.random(2, 3, rng, n_taps=3)
+        clean = channel.apply(tx_samples)
+        padded = np.concatenate([np.zeros((2, 41), dtype=complex), clean], axis=1)
+        fast = estimate_mimo_channel(padded, preamble, preamble_start=41)
+        reference = _estimate_mimo_channel_reference(padded, preamble, preamble_start=41)
+        assert np.array_equal(fast.matrices, reference.matrices)
+
+    def test_bit_identical_for_1d_input(self, rng):
+        preamble = Preamble(n_antennas=1)
+        received = (0.7 + 0.2j) * preamble.per_antenna_samples()[0]
+        fast = estimate_mimo_channel(received, preamble)
+        reference = _estimate_mimo_channel_reference(received, preamble)
+        assert np.array_equal(fast.matrices, reference.matrices)
+
+    def test_short_capture_raises_like_reference(self):
+        preamble = Preamble(n_antennas=2)
+        with pytest.raises(DimensionError):
+            estimate_mimo_channel(np.zeros((2, 100), dtype=complex), preamble)
+        with pytest.raises(DimensionError):
+            _estimate_mimo_channel_reference(np.zeros((2, 100), dtype=complex), preamble)

@@ -115,3 +115,25 @@ class TestMetrics:
         metrics.link("a").delivered_bits = 1_000_000
         metrics.link("b").delivered_bits = 1_000_000
         assert metrics.fairness_index() == pytest.approx(1.0)
+
+    def test_read_paths_do_not_create_links(self):
+        """Regression: querying a pair that never transmitted must not
+        mutate the metrics (it used to create a zero-valued LinkMetrics,
+        silently shifting the Jain-index denominator)."""
+        metrics = NetworkMetrics(elapsed_us=1e6)
+        metrics.link("a->b").delivered_bits = 1_000_000
+        metrics.link("c->d").delivered_bits = 1_000_000
+        fairness_before = metrics.fairness_index()
+        serialised_before = metrics.to_dict()
+
+        assert metrics.throughput_mbps("nobody->nowhere") == 0.0
+        assert metrics.throughput_mbps("also->missing") == 0.0
+
+        assert set(metrics.links) == {"a->b", "c->d"}
+        assert metrics.fairness_index() == fairness_before
+        assert metrics.to_dict() == serialised_before
+
+    def test_throughput_query_of_recorded_pair_still_works(self):
+        metrics = NetworkMetrics(elapsed_us=1_000_000.0)
+        metrics.link("a->b").delivered_bits = 2_000_000
+        assert metrics.throughput_mbps("a->b") == pytest.approx(2.0)

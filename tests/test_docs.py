@@ -116,15 +116,19 @@ def test_layout_table_paths_exist():
 def test_architecture_named_symbols_exist():
     """Functions/modules the architecture doc leans on must be importable."""
     from repro.experiments.handshake_overhead import _alignment_subspaces_reference  # noqa: F401
+    from repro.phy.channel_est import _estimate_mimo_channel_reference  # noqa: F401
     from repro.phy.coding.viterbi import _viterbi_decode_reference  # noqa: F401
     from repro.sim.engine import EventScheduler  # noqa: F401
     from repro.sim.runner import (  # noqa: F401
         _run_simulation_condensed_reference,
+        _slot_aligned_idle_end,
+        _slot_aligned_idle_end_reference,
         placement_seed,
         simulate_placement,
     )
     from repro.sim.sweep import SweepCache, run_sweep  # noqa: F401
     from repro.channel.testbed import dense_testbed  # noqa: F401
     from repro.sim.network import Network
+    from repro.sim.traffic import TrafficStateArrays  # noqa: F401
 
     assert hasattr(Network, "reseed_estimation_noise")
