@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: test docs-check examples bench bench-baseline
+.PHONY: test docs-check examples bench bench-compare bench-baseline
 
 test:
 	$(PYTHON) -m pytest -q
@@ -16,7 +16,11 @@ docs-check:
 examples:
 	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done
 
-bench:
+# One-command regression gate: fails when any tracked benchmark regresses
+# >25% against the committed BENCH_core.json baseline.
+bench: bench-compare
+
+bench-compare:
 	$(PYTHON) benchmarks/run_all.py --compare
 
 bench-baseline:

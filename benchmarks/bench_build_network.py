@@ -1,0 +1,127 @@
+"""Network-construction and plan-cache benchmarks.
+
+PR 4 moved the remaining dense-LAN hotspots out of the per-round path:
+
+* ``Network`` construction draws every station pair's channel through
+  the batched group pipeline (``channel_draws="batched"``) -- station
+  pairs grouped by antenna shape, tap scaling and the 64-point FFT
+  computed per group -- instead of one ``testbed.link()`` call per pair.
+  The ``bench_build_network_100/200`` entries track the batched path at
+  the two dense-LAN tiers; the ``*_reference`` entry times the kept
+  per-pair loop at 100 stations so the speedup stays visible (and keeps
+  the reference honest).  Every batched build is asserted bit-identical
+  to the reference in the test suite (``tests/sim/test_network_batched_draws.py``).
+
+* The per-simulation plan cache (:class:`repro.mac.plan.PlanCache`)
+  memoizes the winner's pre-coder decompositions and measured SNRs by
+  contention configuration.  ``bench_nplus_rounds_plan_cache`` times a
+  default-window n+ simulation with the cache (the default);
+  ``bench_nplus_rounds_no_plan_cache`` recomputes every plan, for the
+  comparison.  Both runs assert identical metrics -- the cache is a pure
+  speedup.
+
+All entries are tracked in ``BENCH_core.json``; run
+``python benchmarks/run_all.py --compare`` (or ``make bench-compare``)
+to gate regressions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.network import Network
+from repro.sim.runner import SimulationConfig, build_network, run_simulation
+from repro.sim.scenarios import scenario_factory
+
+_CONFIG = SimulationConfig(duration_us=100_000.0, n_subcarriers=16)
+_SEED = 0
+
+_scenarios: dict = {}
+
+
+def _scenario(name: str):
+    if name not in _scenarios:
+        _scenarios[name] = scenario_factory(name)()
+    return _scenarios[name]
+
+
+def _build(name: str, channel_draws: str) -> Network:
+    scenario = _scenario(name)
+    return Network(
+        scenario.stations,
+        scenario.pairs,
+        np.random.default_rng(_SEED),
+        testbed=scenario.make_testbed(),
+        n_subcarriers=_CONFIG.n_subcarriers,
+        channel_draws=channel_draws,
+    )
+
+
+def bench_build_network_100(benchmark):
+    """Batched construction of a 100-station network (4950 channel pairs)."""
+    network = benchmark(lambda: _build("dense-lan-100", "batched"))
+    assert len(network.stations) == 100
+
+
+def bench_build_network_200(benchmark):
+    """Batched construction of a 200-station network (19900 channel pairs)."""
+    network = benchmark(lambda: _build("dense-lan-200", "batched"))
+    assert len(network.stations) == 200
+
+
+def bench_build_network_100_reference(benchmark):
+    """The kept per-pair reference loop at 100 stations.
+
+    Compare with ``bench_build_network_100`` for the construction
+    speedup; the acceptance bar is batched >= 3x faster.
+    """
+    network = benchmark(lambda: _build("dense-lan-100", "per-pair"))
+    assert len(network.stations) == 100
+
+
+_plan_cache_state: dict = {}
+
+
+def _plan_cache_setup():
+    """The saturated dense LAN whose rounds exercise the plan cache."""
+    if not _plan_cache_state:
+        scenario = scenario_factory("dense-lan-30")()
+        config = SimulationConfig(duration_us=100_000.0, n_subcarriers=8)
+        network = build_network(scenario, 1, config)
+        reference = run_simulation(
+            scenario, "n+", seed=1, config=config, network=network, plan_cache=False
+        )
+        _plan_cache_state.update(
+            scenario=scenario,
+            config=config,
+            network=network,
+            reference=reference.to_dict(),
+        )
+    return _plan_cache_state
+
+
+def _run_rounds(plan_cache: bool):
+    state = _plan_cache_setup()
+    metrics = run_simulation(
+        state["scenario"],
+        "n+",
+        seed=1,
+        config=state["config"],
+        network=state["network"],
+        plan_cache=plan_cache,
+    )
+    # The cache must be a pure speedup: identical metrics either way.
+    assert metrics.to_dict() == state["reference"]
+    return metrics
+
+
+def bench_nplus_rounds_plan_cache(benchmark):
+    """n+ rounds on dense-lan-30, 100 ms window, plan cache on (default)."""
+    metrics = benchmark(lambda: _run_rounds(True))
+    assert metrics.elapsed_us >= 100_000.0
+
+
+def bench_nplus_rounds_no_plan_cache(benchmark):
+    """The same rounds recomputing every plan, for the comparison."""
+    metrics = benchmark(lambda: _run_rounds(False))
+    assert metrics.elapsed_us >= 100_000.0

@@ -36,6 +36,7 @@ BASELINE_PATH = REPO_ROOT / "BENCH_core.json"
 TRACKED_FILES = [
     "benchmarks/bench_core_primitives.py",
     "benchmarks/bench_dense_rounds.py",
+    "benchmarks/bench_build_network.py",
 ]
 
 

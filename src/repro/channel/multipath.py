@@ -18,7 +18,11 @@ from repro.constants import CYCLIC_PREFIX_LENGTH, NUM_SUBCARRIERS
 from repro.exceptions import ConfigurationError, DimensionError
 from repro.channel.models import complex_gaussian
 
-__all__ = ["exponential_power_delay_profile", "MultipathChannel"]
+__all__ = [
+    "exponential_power_delay_profile",
+    "MultipathChannel",
+    "frequency_response_batch",
+]
 
 
 def exponential_power_delay_profile(n_taps: int, decay_samples: float = 3.0) -> np.ndarray:
@@ -87,6 +91,64 @@ class MultipathChannel:
         for d in range(n_taps):
             taps[d] = complex_gaussian((n_rx, n_tx), rng, profile[d] * average_gain)
         return cls(taps=taps)
+
+    @classmethod
+    def random_batch(
+        cls,
+        n_rx: int,
+        n_tx: int,
+        rng: Optional[np.random.Generator],
+        n_channels: int,
+        n_taps: int = 4,
+        decay_samples=3.0,
+        average_gain=1.0,
+        raw: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Draw the taps of ``n_channels`` Rayleigh channels at once.
+
+        Returns a complex array of shape ``(n_channels, n_taps, n_rx,
+        n_tx)``; slice ``c`` is bit-identical to the taps of the ``c``-th
+        of ``n_channels`` sequential :meth:`random` calls on the same
+        generator (one ``standard_normal`` call fills array elements in
+        the same order the per-channel, per-tap draws consume them).
+        ``decay_samples`` and ``average_gain`` may be scalars or
+        per-channel arrays of length ``n_channels``.
+
+        ``raw`` lets a caller that must interleave other draws between
+        channels (e.g. per-link shadowing) pre-draw the standard normals
+        itself: shape ``(n_channels, n_taps, 2, n_rx, n_tx)``, where the
+        ``2`` axis is (real, imaginary) -- exactly what
+        ``rng.standard_normal`` consumes per tap.  When ``raw`` is given,
+        ``rng`` is unused and may be ``None``.
+        """
+        if n_channels < 0:
+            raise ConfigurationError(f"n_channels must be non-negative, got {n_channels}")
+        if n_taps > CYCLIC_PREFIX_LENGTH:
+            raise ConfigurationError(
+                f"n_taps ({n_taps}) must not exceed the cyclic prefix "
+                f"({CYCLIC_PREFIX_LENGTH})"
+            )
+        if raw is None:
+            if rng is None:
+                raise ConfigurationError("random_batch needs an rng when raw is not given")
+            raw = rng.standard_normal((n_channels, n_taps, 2, n_rx, n_tx))
+        raw = np.asarray(raw, dtype=float)
+        if raw.shape != (n_channels, n_taps, 2, n_rx, n_tx):
+            raise DimensionError(
+                f"raw must have shape {(n_channels, n_taps, 2, n_rx, n_tx)}, "
+                f"got {raw.shape}"
+            )
+        decays = np.broadcast_to(np.asarray(decay_samples, dtype=float), (n_channels,))
+        gains = np.broadcast_to(np.asarray(average_gain, dtype=float), (n_channels,))
+        # The profile is a pure function of (n_taps, decay); computing it
+        # once per distinct decay through the scalar helper keeps every
+        # float identical to what the per-channel constructor produces.
+        profiles = np.empty((n_channels, n_taps))
+        for value in np.unique(decays):
+            profiles[decays == value] = exponential_power_delay_profile(n_taps, float(value))
+        variance = profiles * gains[:, None]  # (n_channels, n_taps)
+        scale = np.sqrt(variance / 2.0)
+        return scale[:, :, None, None] * (raw[:, :, 0] + 1j * raw[:, :, 1])
 
     @classmethod
     def flat(cls, matrix: np.ndarray) -> "MultipathChannel":
@@ -166,3 +228,22 @@ class MultipathChannel:
     def scaled(self, gain: float) -> "MultipathChannel":
         """Return a copy with every tap scaled by ``sqrt(gain)`` (power gain)."""
         return MultipathChannel(taps=self.taps * np.sqrt(gain))
+
+
+def frequency_response_batch(taps: np.ndarray, fft_size: int = NUM_SUBCARRIERS) -> np.ndarray:
+    """Per-subcarrier matrices of a whole stack of channels in one FFT.
+
+    ``taps`` has shape ``(n_channels, n_taps, n_rx, n_tx)`` (what
+    :meth:`MultipathChannel.random_batch` returns); the result has shape
+    ``(n_channels, fft_size, n_rx, n_tx)`` and slice ``c`` is bit-identical
+    to ``MultipathChannel(taps[c]).frequency_response(fft_size)``.
+    """
+    taps = np.asarray(taps, dtype=complex)
+    if taps.ndim != 4:
+        raise DimensionError(
+            f"taps must have shape (n_channels, n_taps, n_rx, n_tx), got {taps.shape}"
+        )
+    n_channels, n_taps, n_rx, n_tx = taps.shape
+    padded = np.zeros((n_channels, fft_size, n_rx, n_tx), dtype=complex)
+    padded[:, :n_taps] = taps
+    return np.fft.fft(padded, axis=1)

@@ -130,21 +130,81 @@ class Testbed:
 
     # -- link budget ----------------------------------------------------------
 
+    def path_loss_at_distance(self, distance):
+        """Log-distance path loss at ``distance`` metres (scalar or array).
+
+        Distances clamp to the 1 m reference.  This is *the* propagation
+        formula: the scalar :meth:`path_loss_db` and the vectorized
+        all-pairs computation of the batched network construction both
+        evaluate it, so a model change cannot diverge between them.
+        """
+        return self.reference_loss_db + 10 * self.path_loss_exponent * np.log10(
+            np.maximum(distance, 1.0)
+        )
+
     def path_loss_db(self, a: int, b: int) -> float:
         """Deterministic log-distance path loss between two locations."""
-        distance = max(self.distance(a, b), 1.0)
-        return self.reference_loss_db + 10 * self.path_loss_exponent * np.log10(distance)
+        return self.path_loss_at_distance(self.distance(a, b))
 
-    def link_snr_db(self, a: int, b: int, rng: Optional[np.random.Generator] = None) -> float:
+    def link_snr_db(
+        self,
+        a: int,
+        b: int,
+        rng: Optional[np.random.Generator] = None,
+        path_loss_db: Optional[float] = None,
+    ) -> float:
         """Average link SNR (dB) including shadowing, clamped to the
-        testbed's operating range."""
-        loss = self.path_loss_db(a, b)
+        testbed's operating range.
+
+        ``path_loss_db`` lets a caller that already computed the
+        deterministic loss (e.g. vectorized over all pairs) skip the
+        per-call :meth:`path_loss_db`; the shadowing draw, budget
+        arithmetic and clamp are shared either way.
+        """
+        loss = self.path_loss_db(a, b) if path_loss_db is None else path_loss_db
         if rng is not None:
-            loss += rng.normal(0.0, self.shadowing_sigma_db)
+            loss = loss + rng.normal(0.0, self.shadowing_sigma_db)
         snr = self.tx_power_dbm - loss - self.noise_floor_dbm
-        return float(np.clip(snr, self.min_snr_db, self.max_snr_db))
+        # min/max, not np.clip: same value, but cheap enough for the
+        # batched construction's once-per-pair call.
+        return float(min(max(snr, self.min_snr_db), self.max_snr_db))
 
     # -- channel generation ------------------------------------------------------
+
+    def draw_link_scalars(
+        self,
+        tx_location: int,
+        rx_location: int,
+        rng: np.random.Generator,
+        snr_db: Optional[float] = None,
+        path_loss_db: Optional[float] = None,
+    ) -> Tuple[float, float]:
+        """The per-link scalar draws, in canonical order.
+
+        This is *the* definition of a link's scalar random-draw sequence
+        -- the shadowed SNR (one ``rng.normal``, skipped when ``snr_db``
+        forces the budget) followed by the line-of-sight coin (one
+        ``rng.random``) -- shared by :meth:`link`, :meth:`link_batch` and
+        the batched network construction
+        (:meth:`repro.sim.network.Network._draw_channels`), so the
+        bit-identity contract between those paths lives in one place.
+
+        ``path_loss_db`` lets a caller that has already computed the
+        deterministic log-distance loss (e.g. vectorized over all pairs)
+        skip the per-link :meth:`path_loss_db` call; the shadowing,
+        clamping and float arithmetic stay identical either way.
+
+        Returns ``(snr_db, decay_samples)``.
+        """
+        if snr_db is None:
+            snr_db = self.link_snr_db(
+                tx_location, rx_location, rng, path_loss_db=path_loss_db
+            )
+        else:
+            snr_db = float(snr_db)
+        line_of_sight = rng.random() < self.los_probability
+        # Line of sight: a strong first tap plus weak scattering.
+        return snr_db, 0.6 if line_of_sight else 1.5
 
     def link(
         self,
@@ -169,14 +229,7 @@ class Testbed:
             Force the average link SNR instead of deriving it from the
             geometry; used by controlled experiments such as Fig. 11.
         """
-        if snr_db is None:
-            snr_db = self.link_snr_db(tx_location, rx_location, rng)
-        line_of_sight = rng.random() < self.los_probability
-        if line_of_sight:
-            # A strong first tap plus weak scattering.
-            decay = 0.6
-        else:
-            decay = 1.5
+        snr_db, decay = self.draw_link_scalars(tx_location, rx_location, rng, snr_db)
         channel = MultipathChannel.random(
             n_rx=n_rx,
             n_tx=n_tx,
@@ -191,6 +244,69 @@ class Testbed:
             snr_db=float(snr_db),
             channel=channel,
         )
+
+    def link_batch(
+        self,
+        tx_locations: Sequence[int],
+        rx_locations: Sequence[int],
+        n_tx: int,
+        n_rx: int,
+        rng: np.random.Generator,
+        snr_db: Optional[Sequence[Optional[float]]] = None,
+    ) -> List[TestbedLink]:
+        """Draw many same-antenna-shape links with batched channel math.
+
+        Bit-identical to calling :meth:`link` once per ``(tx_locations[i],
+        rx_locations[i])`` with the same generator: the scalar draws
+        (shadowing, line-of-sight) and the per-link tap normals are
+        consumed in exactly the per-link order, but the tap scaling and
+        any further processing run as one stacked operation over the
+        whole batch.  ``snr_db`` may be ``None`` (derive every link from
+        geometry) or a sequence with ``None``/forced entries per link.
+        """
+        tx_locations = list(tx_locations)
+        rx_locations = list(rx_locations)
+        if len(tx_locations) != len(rx_locations):
+            raise ConfigurationError(
+                f"need one rx location per tx location, got "
+                f"{len(tx_locations)} vs {len(rx_locations)}"
+            )
+        n_links = len(tx_locations)
+        forced = list(snr_db) if snr_db is not None else [None] * n_links
+        if len(forced) != n_links:
+            raise ConfigurationError(
+                f"snr_db must have one entry per link, got {len(forced)}"
+            )
+
+        snrs: List[float] = []
+        decays: List[float] = []
+        raws: List[np.ndarray] = []
+        for a, b, forced_snr in zip(tx_locations, rx_locations, forced):
+            snr, decay = self.draw_link_scalars(a, b, rng, forced_snr)
+            snrs.append(snr)
+            decays.append(decay)
+            raws.append(rng.standard_normal((self.n_taps, 2, n_rx, n_tx)))
+
+        gains = db_to_linear(np.asarray(snrs, dtype=float))
+        taps = MultipathChannel.random_batch(
+            n_rx,
+            n_tx,
+            rng=None,
+            n_channels=n_links,
+            n_taps=self.n_taps,
+            decay_samples=np.asarray(decays),
+            average_gain=gains,
+            raw=np.stack(raws) if raws else np.zeros((0, self.n_taps, 2, n_rx, n_tx)),
+        )
+        return [
+            TestbedLink(
+                tx_location=a,
+                rx_location=b,
+                snr_db=snrs[index],
+                channel=MultipathChannel(taps=taps[index]),
+            )
+            for index, (a, b) in enumerate(zip(tx_locations, rx_locations))
+        ]
 
     def link_between_placed(
         self,

@@ -19,6 +19,7 @@ from repro.exceptions import MediumAccessError
 from repro.mac.aggregation import airtime_for_bits
 from repro.mac.bitrate import choose_bitrate
 from repro.mac.csma import DcfContender
+from repro.mac.plan import PlanCache, stream_signature
 from repro.mac.retransmission import RetransmissionQueue
 from repro.phy.rates import MCS
 from repro.sim.link_abstraction import receiver_stream_snrs
@@ -58,6 +59,14 @@ class BaseMacAgent:
         created or refilled in.  When omitted, arrivals fall back to the
         shared ``rng`` (the historical behaviour, which interleaves draws
         across agents in refill order).
+    plan_cache:
+        Optional per-simulation :class:`~repro.mac.plan.PlanCache`.
+        When given, the pure planning computations (pre-coder
+        decompositions, measured post-projection SNRs) are memoized by
+        contention configuration; omitting it recomputes every plan from
+        scratch.  Both paths produce bit-identical metrics -- the cache
+        only skips recomputation the static-channel invariant makes
+        redundant.
     """
 
     protocol_name = "base"
@@ -78,10 +87,12 @@ class BaseMacAgent:
         bitrate_margin_db: float = 0.0,
         packet_rate_pps: Optional[float] = None,
         arrival_seed: Optional[Sequence[int]] = None,
+        plan_cache: Optional[PlanCache] = None,
     ) -> None:
         self.pair = pair
         self.network = network
         self.rng = rng
+        self.plan_cache = plan_cache
         self.bitrate_margin_db = bitrate_margin_db
         self.contender = DcfContender(node_id=pair.transmitter.node_id)
         self.queues: Dict[int, RetransmissionQueue] = {}
@@ -234,6 +245,18 @@ class BaseMacAgent:
         """Airtime of the ACK exchange that follows the data bodies."""
         return SIFS_US + HEADER_OFDM_SYMBOLS * OFDM_SYMBOL_DURATION_US_10MHZ
 
+    # -- plan caching -------------------------------------------------------------------
+
+    def _cached(self, key: tuple, compute):
+        """Memoize a pure planning computation in the per-simulation cache.
+
+        Falls through to ``compute()`` when no cache is attached, so the
+        cached and uncached paths stay interchangeable.
+        """
+        if self.plan_cache is None:
+            return compute()
+        return self.plan_cache.get(key, compute)
+
     # -- bitrate -------------------------------------------------------------------------
 
     def _measured_snrs(
@@ -244,7 +267,28 @@ class BaseMacAgent:
     ) -> np.ndarray:
         """Per-subcarrier post-projection SNRs the receiver would measure on
         the light-weight RTS of the planned streams (worst stream governs
-        every subcarrier because one failed stream fails the packet)."""
+        every subcarrier because one failed stream fails the packet).
+
+        Pure given the contention configuration (static channels, memoized
+        estimates, no generator involved), so the result is memoized by
+        the structural signatures of the planned and concurrent streams.
+        """
+        key = (
+            "measured-snrs",
+            receiver_id,
+            stream_signature(planned),
+            stream_signature(concurrent),
+        )
+        return self._cached(
+            key, lambda: self._measured_snrs_fresh(receiver_id, planned, concurrent)
+        )
+
+    def _measured_snrs_fresh(
+        self,
+        receiver_id: int,
+        planned: Sequence[ScheduledStream],
+        concurrent: Sequence[ScheduledStream],
+    ) -> np.ndarray:
         wanted = [s for s in planned if s.receiver_id == receiver_id]
         snrs = receiver_stream_snrs(
             self.network, receiver_id, wanted, list(concurrent) + list(planned)

@@ -87,14 +87,28 @@ class BeamformingMac(BaseMacAgent):
             )
         if not receivers:
             return []
-        try:
-            plan = plan_initial_transmission(
-                self.node_id,
-                self.n_antennas,
-                receivers,
-                multi_user_beamforming=len(receivers) > 1,
-            )
-        except PrecodingError:
+
+        # The pre-coder decomposition is a pure function of which
+        # receivers take how many streams (channel estimates are memoized
+        # per simulation), so it is memoized by that allocation.
+        def _compute():
+            try:
+                return plan_initial_transmission(
+                    self.node_id,
+                    self.n_antennas,
+                    receivers,
+                    multi_user_beamforming=len(receivers) > 1,
+                )
+            except PrecodingError:
+                return None
+
+        key = (
+            "initial-plan",
+            self.node_id,
+            tuple((r.receiver_id, r.n_streams) for r in receivers),
+        )
+        plan = self._cached(key, _compute)
+        if plan is None:
             return []
 
         join_order = medium.max_join_order() + 1

@@ -38,7 +38,12 @@ from repro.exceptions import PrecodingError
 from repro.mac.aggregation import bits_in_airtime
 from repro.mac.beamforming import BeamformingMac, distribute_streams
 from repro.mac.bitrate import choose_bitrate
-from repro.mac.plan import PlannedReceiver, ProtectedReceiver, plan_join
+from repro.mac.plan import (
+    PlannedReceiver,
+    ProtectedReceiver,
+    plan_join,
+    stream_signature,
+)
 from repro.mimo.dof import InterferenceStrategy, choose_strategy
 from repro.phy.rates import MCS_TABLE
 from repro.sim.link_abstraction import announced_decoding_subspace, interference_directions_at
@@ -169,10 +174,16 @@ class NPlusMac(BeamformingMac):
             )
         return planned
 
-    def plan_join(
-        self, start_us: float, medium: Medium
-    ) -> Optional[List[ScheduledStream]]:
-        """Join the ongoing transmissions without interfering with them."""
+    def _join_plan_core(self, medium: Medium):
+        """The expensive, pure part of a join: subspaces and pre-coders.
+
+        Returns ``(plan, receivers)`` or ``None`` when no join is
+        possible.  Under the static-channel invariant this is a pure
+        function of the streams on the air and of which of our receivers
+        are backlogged, so :meth:`plan_join` memoizes it by that
+        configuration -- the airtime- and backlog-dependent payload
+        sizing stays outside the cache.
+        """
         used = medium.used_degrees_of_freedom
         max_new = self.n_antennas - used
         if max_new <= 0:
@@ -191,6 +202,20 @@ class NPlusMac(BeamformingMac):
             )
         except PrecodingError:
             return None
+        return plan, receivers
+
+    def plan_join(
+        self, start_us: float, medium: Medium
+    ) -> Optional[List[ScheduledStream]]:
+        """Join the ongoing transmissions without interfering with them."""
+        backlogged = tuple(
+            r.node_id for r in self.pair.receivers if self.queues[r.node_id].has_traffic
+        )
+        key = ("join-plan", self.node_id, stream_signature(medium.active_streams), backlogged)
+        core = self._cached(key, lambda: self._join_plan_core(medium))
+        if core is None:
+            return None
+        plan, receivers = core
 
         end_us = medium.current_end_us
         if end_us <= start_us:

@@ -36,10 +36,77 @@ __all__ = [
     "PlannedReceiver",
     "StreamPlan",
     "TransmissionPlan",
+    "PlanCache",
+    "stream_signature",
     "receiver_decoding_subspace",
     "plan_initial_transmission",
     "plan_join",
 ]
+
+
+def stream_signature(streams) -> tuple:
+    """A hashable structural signature of a list of scheduled streams.
+
+    Two stream lists with the same signature produce the same planning
+    math under the static-channel invariant: channels are frozen per run
+    and channel *estimates* are memoized per simulation
+    (:meth:`repro.sim.network.Network.estimated_channel`), so every
+    pre-coder, announced subspace and post-projection SNR is a pure
+    function of *which* streams are on the air -- ``(transmitter,
+    receiver, join order, ordinal within that triple)``, in order -- not
+    of run-time identifiers like stream ids, payload sizes or start
+    times.  This is what keys the :class:`PlanCache`.
+    """
+    signature = []
+    counts: Dict[tuple, int] = {}
+    for stream in streams:
+        triple = (stream.transmitter_id, stream.receiver_id, stream.join_order)
+        ordinal = counts.get(triple, 0)
+        counts[triple] = ordinal + 1
+        signature.append(triple + (ordinal,))
+    return tuple(signature)
+
+
+class PlanCache:
+    """Per-simulation memo of pure planning computations.
+
+    Channels never change within a run and channel estimates are measured
+    once per simulation, so the expensive per-round planning math --
+    pre-coder decompositions (:func:`plan_initial_transmission`,
+    :func:`plan_join`), announced decoding subspaces and the
+    post-projection SNRs a receiver would feed back -- is a pure function
+    of the contention configuration.  The cache maps a structural key
+    (built from :func:`stream_signature` plus whatever else the
+    computation depends on) to the computed value; after the first
+    occurrence of each configuration the dominant per-round SVD work
+    becomes a dictionary hit.
+
+    Entries are never invalidated within a run: there is nothing to
+    invalidate on, precisely because the channels are static.  The cache
+    must not be shared across simulations (the runner creates one per
+    :func:`repro.sim.runner.run_simulation`).  Cached arrays are shared
+    by reference, so callers must treat them as read-only.
+    """
+
+    def __init__(self) -> None:
+        self._store: Dict[tuple, object] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: tuple, compute):
+        """The memoized value for ``key``, computing it on first use."""
+        try:
+            value = self._store[key]
+        except KeyError:
+            value = compute()
+            self._store[key] = value
+            self.misses += 1
+            return value
+        self.hits += 1
+        return value
+
+    def __len__(self) -> int:
+        return len(self._store)
 
 
 @dataclass

@@ -9,16 +9,41 @@ exact same propagation environment.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.channel.hardware import HardwareProfile
+from repro.channel.multipath import MultipathChannel, frequency_response_batch
 from repro.channel.testbed import Testbed, default_testbed
 from repro.exceptions import ConfigurationError
 from repro.sim.node import Station, TrafficPair
+from repro.utils.db import db_to_linear
 
 __all__ = ["Network"]
+
+
+@lru_cache(maxsize=None)
+def _subcarrier_bins(n_subcarriers: int) -> np.ndarray:
+    """The OFDM data bins tracked at a given subcarrier resolution.
+
+    The bin choice is a pure function of ``n_subcarriers`` (the 64-point
+    data-index layout is a protocol constant), so the lookup is computed
+    once per resolution instead of rebuilding ``OfdmConfig`` for every
+    network.  The cached array is marked read-only because it is shared
+    between all networks of the process.
+    """
+    from repro.phy.ofdm import OfdmConfig
+
+    data_bins = np.array(OfdmConfig().data_indices)
+    if n_subcarriers >= data_bins.size:
+        bins = data_bins
+    else:
+        picks = np.linspace(0, data_bins.size - 1, n_subcarriers).round().astype(int)
+        bins = data_bins[picks]
+    bins.setflags(write=False)
+    return bins
 
 
 class Network:
@@ -41,6 +66,13 @@ class Network:
     forced_link_snrs_db:
         Optional map ``(tx_id, rx_id) -> SNR`` overriding the geometric
         link budget for controlled experiments.
+    channel_draws:
+        ``"batched"`` (default) draws every station pair's channel with
+        the vectorized group pipeline (station pairs grouped by antenna
+        shape, tap scaling and the 64-point FFT computed for a whole
+        group at once); ``"per-pair"`` runs the readable per-pair loop.
+        Both are bit-identical -- the per-pair loop is kept as the
+        reference the batched path is asserted against.
     """
 
     def __init__(
@@ -51,9 +83,15 @@ class Network:
         testbed: Optional[Testbed] = None,
         n_subcarriers: int = 16,
         forced_link_snrs_db: Optional[Dict[Tuple[int, int], float]] = None,
+        channel_draws: str = "batched",
     ) -> None:
         if n_subcarriers < 1:
             raise ConfigurationError("need at least one subcarrier")
+        if channel_draws not in ("batched", "per-pair"):
+            raise ConfigurationError(
+                f"unknown channel_draws {channel_draws!r}; "
+                "choose 'batched' or 'per-pair'"
+            )
         self.stations: Dict[int, Station] = {s.node_id: s for s in stations}
         if len(self.stations) != len(stations):
             raise ConfigurationError("station ids must be unique")
@@ -65,11 +103,15 @@ class Network:
         self.hardware: HardwareProfile = self.testbed.hardware
         self._forced_snrs = dict(forced_link_snrs_db or {})
         self._estimation_rng: Optional[np.random.Generator] = None
+        self._estimate_memo: Dict[Tuple[int, int, bool], np.ndarray] = {}
 
         self._place_stations()
         self._channels: Dict[Tuple[int, int], np.ndarray] = {}
         self._link_snrs: Dict[Tuple[int, int], float] = {}
-        self._draw_channels()
+        if channel_draws == "batched":
+            self._draw_channels()
+        else:
+            self._draw_channels_reference()
 
     # -- construction helpers -----------------------------------------------------
 
@@ -79,37 +121,120 @@ class Network:
             station.location = int(location)
 
     def _subcarrier_indices(self) -> np.ndarray:
-        from repro.phy.ofdm import OfdmConfig
+        return _subcarrier_bins(self.n_subcarriers)
 
-        data_bins = np.array(OfdmConfig().data_indices)
-        if self.n_subcarriers >= data_bins.size:
-            return data_bins
-        picks = np.linspace(0, data_bins.size - 1, self.n_subcarriers).round().astype(int)
-        return data_bins[picks]
-
-    def _draw_channels(self) -> None:
-        """Draw one frequency-selective channel per unordered station pair
-        and derive the reverse direction by reciprocity (transposition)."""
-        bins = self._subcarrier_indices()
+    def _pair_iter(self):
+        """Unordered station pairs in canonical draw order, with the
+        forced SNR (or ``None``) of each."""
         ids = sorted(self.stations)
         for i, a in enumerate(ids):
             for b in ids[i + 1 :]:
-                sta_a = self.stations[a]
-                sta_b = self.stations[b]
                 forced = self._forced_snrs.get((a, b), self._forced_snrs.get((b, a)))
-                link = self.testbed.link(
-                    sta_a.location,
-                    sta_b.location,
-                    n_tx=sta_a.n_antennas,
-                    n_rx=sta_b.n_antennas,
-                    rng=self.rng,
-                    snr_db=forced,
-                )
-                response = link.frequency_response(64)[bins]  # (n_sub, N_b, M_a)
-                self._channels[(a, b)] = response
-                self._channels[(b, a)] = np.transpose(response, (0, 2, 1)).copy()
-                self._link_snrs[(a, b)] = link.snr_db
-                self._link_snrs[(b, a)] = link.snr_db
+                yield a, b, forced
+
+    def _store_pair(self, a: int, b: int, response: np.ndarray, snr_db: float) -> None:
+        """Record a drawn channel and its reciprocal direction."""
+        self._channels[(a, b)] = response
+        self._channels[(b, a)] = np.transpose(response, (0, 2, 1)).copy()
+        self._link_snrs[(a, b)] = snr_db
+        self._link_snrs[(b, a)] = snr_db
+
+    def _draw_channels(self) -> None:
+        """Draw every pair's channel with batched per-group math.
+
+        Random numbers are consumed in exactly the order of
+        :meth:`_draw_channels_reference` -- per pair: shadowing, the
+        line-of-sight coin, then the tap normals in one call -- so the
+        result is bit-identical.  Everything downstream of the draws
+        (path loss, tap scaling, the 64-point FFT, the subcarrier
+        selection) runs once per antenna-shape group instead of once per
+        pair, which is what makes 100-200 station construction cheap.
+        """
+        if not self.stations:
+            return
+        bins = self._subcarrier_indices()
+        testbed = self.testbed
+        n_taps = testbed.n_taps
+
+        # Deterministic geometry, vectorized once: the log-distance path
+        # loss of every placed-location pair, through the same
+        # Testbed.path_loss_at_distance formula (and hypot/log10 ufuncs)
+        # the scalar per-pair path evaluates -- bit-identical elementwise.
+        ids = sorted(self.stations)
+        coords = np.array(
+            [testbed.locations[self.stations[node].location] for node in ids], dtype=float
+        )
+        index_of = {node: row for row, node in enumerate(ids)}
+        deltas = coords[:, None, :] - coords[None, :, :]
+        losses = testbed.path_loss_at_distance(
+            np.hypot(deltas[..., 0], deltas[..., 1])
+        )
+
+        # Pass 1: the per-pair draws, in reference order.  Only the three
+        # rng calls (and bookkeeping) remain per pair; the draw sequence
+        # itself is defined once, in Testbed.draw_link_scalars.
+        groups: Dict[Tuple[int, int], dict] = {}
+        rng = self.rng
+        for a, b, forced in self._pair_iter():
+            sta_a = self.stations[a]
+            sta_b = self.stations[b]
+            snr, decay = testbed.draw_link_scalars(
+                sta_a.location,
+                sta_b.location,
+                rng,
+                snr_db=forced,
+                path_loss_db=losses[index_of[a], index_of[b]],
+            )
+            n_tx = sta_a.n_antennas
+            n_rx = sta_b.n_antennas
+            raw = rng.standard_normal((n_taps, 2, n_rx, n_tx))
+            group = groups.setdefault(
+                (n_tx, n_rx), {"pairs": [], "snrs": [], "decays": [], "raws": []}
+            )
+            group["pairs"].append((a, b))
+            group["snrs"].append(snr)
+            group["decays"].append(decay)
+            group["raws"].append(raw)
+
+        # Pass 2: per antenna-shape group, scale all taps and compute all
+        # frequency responses in one stacked FFT + fancy-index pass.
+        for (n_tx, n_rx), group in groups.items():
+            snrs = np.asarray(group["snrs"], dtype=float)
+            taps = MultipathChannel.random_batch(
+                n_rx,
+                n_tx,
+                rng=None,
+                n_channels=len(group["pairs"]),
+                n_taps=n_taps,
+                decay_samples=np.asarray(group["decays"]),
+                average_gain=db_to_linear(snrs),
+                raw=np.stack(group["raws"]),
+            )
+            responses = frequency_response_batch(taps, 64)[:, bins]  # (C, n_sub, N, M)
+            for index, (a, b) in enumerate(group["pairs"]):
+                self._store_pair(a, b, responses[index], float(snrs[index]))
+
+    def _draw_channels_reference(self) -> None:
+        """Draw one frequency-selective channel per unordered station pair
+        and derive the reverse direction by reciprocity (transposition).
+
+        The readable per-pair loop, kept as the reference
+        :meth:`_draw_channels` is asserted bit-identical against.
+        """
+        bins = self._subcarrier_indices()
+        for a, b, forced in self._pair_iter():
+            sta_a = self.stations[a]
+            sta_b = self.stations[b]
+            link = self.testbed.link(
+                sta_a.location,
+                sta_b.location,
+                n_tx=sta_a.n_antennas,
+                n_rx=sta_b.n_antennas,
+                rng=self.rng,
+                snr_db=forced,
+            )
+            response = link.frequency_response(64)[bins]  # (n_sub, N_b, M_a)
+            self._store_pair(a, b, response, link.snr_db)
 
     # -- lookups ---------------------------------------------------------------------
 
@@ -148,8 +273,12 @@ class Network:
         order, or out of a cache and still match a serial run bit for bit.
 
         ``seed`` is anything :func:`numpy.random.default_rng` accepts.
+        Reseeding also clears the per-simulation estimate memo (see
+        :meth:`estimated_channel`), so a new simulation re-measures every
+        channel once from its own stream.
         """
         self._estimation_rng = np.random.default_rng(seed)
+        self._estimate_memo.clear()
 
     def estimated_channel(
         self, tx_id: int, rx_id: int, reciprocity: bool = False
@@ -160,13 +289,31 @@ class Network:
         direction (what a joiner does with overheard CTS headers), which
         carries the additional calibration error of §2's footnote 2.
 
+        Channels are static within a run, so a node measures each channel
+        *once* (on the first preamble it overhears) and reuses that
+        estimate for the rest of the simulation: the first call per
+        ``(tx, rx, reciprocity)`` draws measurement noise, later calls
+        return the memoized estimate.  This static-channel invariant is
+        what makes transmission planning a pure function of the
+        contention configuration -- the property the plan cache of
+        :mod:`repro.mac.plan` relies on.  :meth:`reseed_estimation_noise`
+        (called by the runner at the start of every simulation) clears
+        the memo.
+
         Measurement noise is drawn from the stream installed by
         :meth:`reseed_estimation_noise` when one is set (the runner always
         sets one), falling back to the construction generator otherwise.
         """
+        key = (tx_id, rx_id, reciprocity)
+        memo = self._estimate_memo.get(key)
+        if memo is not None:
+            return memo
         true = self.true_channel(tx_id, rx_id)
         rng = self._estimation_rng if self._estimation_rng is not None else self.rng
-        return self.hardware.perturb_channel(true, rng, reciprocity=reciprocity)
+        estimate = self.hardware.perturb_channel(true, rng, reciprocity=reciprocity)
+        estimate.setflags(write=False)
+        self._estimate_memo[key] = estimate
+        return estimate
 
     # -- summary ---------------------------------------------------------------------
 

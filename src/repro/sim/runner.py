@@ -53,6 +53,7 @@ import numpy as np
 from repro.constants import SLOT_TIME_US
 from repro.exceptions import ConfigurationError, SimulationError
 from repro.mac.csma import resolve_contention
+from repro.mac.plan import PlanCache
 from repro.phy.esnr import packet_delivery_probability
 from repro.sim.engine import EventScheduler
 from repro.sim.link_abstraction import receiver_stream_snrs
@@ -194,6 +195,7 @@ def _build_agents(
     rng: np.random.Generator,
     config: SimulationConfig,
     seed: Optional[int] = None,
+    plan_cache: Optional[PlanCache] = None,
 ) -> Dict[int, object]:
     agent_class = mac_factory(protocol)
     packet_rate = _effective_packet_rate(scenario, config)
@@ -208,6 +210,7 @@ def _build_agents(
             bitrate_margin_db=config.bitrate_margin_db,
             packet_rate_pps=packet_rate,
             arrival_seed=arrival_seed,
+            plan_cache=plan_cache,
         )
     return agents
 
@@ -332,11 +335,15 @@ class _EventDrivenLoop:
         config: SimulationConfig,
         network: Network,
         seed: Optional[int] = None,
+        plan_cache: Optional[PlanCache] = None,
     ) -> None:
         self.config = config
         self.rng = rng
         self.network = network
-        self.agents = _build_agents(scenario, network, protocol, rng, config, seed)
+        self.plan_cache = plan_cache
+        self.agents = _build_agents(
+            scenario, network, protocol, rng, config, seed, plan_cache
+        )
         self.medium = Medium()
         self.metrics = NetworkMetrics()
         for pair in scenario.pairs:
@@ -526,8 +533,9 @@ class _BatchedEventDrivenLoop(_EventDrivenLoop):
         config: SimulationConfig,
         network: Network,
         seed: Optional[int] = None,
+        plan_cache: Optional[PlanCache] = None,
     ) -> None:
-        super().__init__(scenario, protocol, rng, config, network, seed)
+        super().__init__(scenario, protocol, rng, config, network, seed, plan_cache)
         self.arrays = TrafficStateArrays(self.agents.values())
         # The vectorized join mask encodes the n+ eligibility rule; fall
         # back to per-agent ``can_join`` for any joining protocol that has
@@ -604,6 +612,7 @@ def run_simulation(
     config: Optional[SimulationConfig] = None,
     network: Optional[Network] = None,
     pipeline: str = "batched",
+    plan_cache: bool = True,
 ) -> NetworkMetrics:
     """Simulate one run of ``protocol`` on ``scenario``.
 
@@ -639,6 +648,16 @@ def run_simulation(
         asserts it), so the choice never affects results, only speed --
         which is why ``pipeline`` is deliberately not part of the sweep
         cache key.
+    plan_cache:
+        ``True`` (default) memoizes the pure per-round planning math
+        (pre-coder decompositions, measured post-projection SNRs) in a
+        per-simulation :class:`~repro.mac.plan.PlanCache`, turning
+        repeated contention configurations into dictionary hits.
+        Channels are static within a run and channel estimates are
+        measured once per simulation, so the cached and uncached paths
+        produce bit-identical metrics (the test suite asserts it) --
+        like ``pipeline``, this knob is deliberately not part of the
+        sweep cache key.
     """
     config = config or SimulationConfig()
     try:
@@ -657,7 +676,15 @@ def run_simulation(
             n_subcarriers=config.n_subcarriers,
         )
     network.reseed_estimation_noise((seed, _ESTIMATION_STREAM_TAG))
-    loop = loop_class(scenario, protocol, rng, config, network, seed=seed)
+    loop = loop_class(
+        scenario,
+        protocol,
+        rng,
+        config,
+        network,
+        seed=seed,
+        plan_cache=PlanCache() if plan_cache else None,
+    )
     return loop.run()
 
 

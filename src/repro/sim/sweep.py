@@ -5,7 +5,13 @@ placements, each simulated under several MAC protocols.  The serial
 :func:`~repro.sim.runner.run_many` loop computes the ``n_runs x
 n_protocols`` grid one cell at a time; this module computes the same grid
 
-* **in parallel**, fanning cells out over a pool of worker processes, and
+* **in parallel**, fanning *run-level tasks* out over a pool of worker
+  processes -- one task per placement, covering every protocol that
+  missed the cache, so each run's network is drawn exactly **once** and
+  shared by all protocols simulated on it (just like the serial
+  ``run_many`` loop).  Only when more workers than uncached runs are
+  available does a run's protocol list split into chunks (each still
+  sharing one draw), trading a few extra draws for full concurrency, and
 * **incrementally**, memoising every cell in an on-disk results cache
   keyed by ``(scenario, protocol, run seed, config hash)`` so repeated
   figure invocations only recompute what actually changed.
@@ -17,7 +23,9 @@ channel-estimation stream, see
 :meth:`~repro.sim.network.Network.reseed_estimation_noise`).  A parallel
 sweep is therefore **byte-identical** to a serial one for a fixed seed --
 the test suite asserts it -- and cached cells are interchangeable with
-freshly computed ones.
+freshly computed ones.  Caching stays **cell-level** (per protocol) even
+though work ships run-level: a task recomputes only the protocols whose
+cells actually missed.
 
 Typical use::
 
@@ -46,6 +54,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.channel.testbed import default_testbed
 from repro.exceptions import ConfigurationError
 from repro.sim.metrics import NetworkMetrics
 from repro.sim.runner import (
@@ -54,7 +63,6 @@ from repro.sim.runner import (
     mac_seed,
     placement_seed,
     run_simulation,
-    simulate_placement,
 )
 from repro.sim.scenarios import Scenario, scenario_factory
 
@@ -69,7 +77,10 @@ __all__ = [
 
 #: Bump when the simulation's numeric behaviour changes in a way that
 #: should invalidate previously cached sweep results.
-CACHE_SCHEMA_VERSION = 1
+#: 2: channel estimates are measured once per simulation (static-channel
+#:    invariant) instead of re-drawn on every planning query, which
+#:    changes every simulated metric for a given seed.
+CACHE_SCHEMA_VERSION = 2
 
 
 def config_digest(config: SimulationConfig) -> str:
@@ -94,8 +105,19 @@ def scenario_digest(scenario: Scenario) -> str:
     definition -- a different antenna mix, a reshaped floor, a changed
     hardware profile -- invalidates its cached cells automatically
     instead of replaying stale results under the old name.
+
+    Scenarios without a testbed factory are simulated on
+    :func:`~repro.channel.testbed.default_testbed`, so that *effective*
+    testbed is digested for them: an edit to the default floor or to the
+    :class:`~repro.channel.hardware.HardwareProfile` defaults changes the
+    digest and misses the cache, instead of silently replaying cells
+    simulated under the old defaults.
     """
     testbed = scenario.make_testbed()
+    if testbed is None:
+        # The testbed the simulation will actually run on (see
+        # repro.sim.network.Network), not the `None` placeholder.
+        testbed = default_testbed()
     payload = json.dumps(
         {
             "stations": [
@@ -110,9 +132,7 @@ def scenario_digest(scenario: Scenario) -> str:
                 for p in scenario.pairs
             ],
             "packet_rate_pps": scenario.packet_rate_pps,
-            "testbed": None
-            if testbed is None
-            else {
+            "testbed": {
                 "locations": [list(xy) for xy in testbed.locations],
                 "tx_power_dbm": testbed.tx_power_dbm,
                 "noise_floor_dbm": testbed.noise_floor_dbm,
@@ -258,10 +278,29 @@ def _resolve_scenario(
     return scenario, scenario_key
 
 
-def _simulate_cell(args: Tuple) -> NetworkMetrics:
-    """Worker entry point: simulate one (placement, protocol) cell."""
-    factory, protocol, run_seed, config = args
-    return simulate_placement(factory, protocol, run_seed, config)
+def _simulate_run(args: Tuple) -> List[NetworkMetrics]:
+    """Worker entry point: simulate one placement under several protocols.
+
+    Tasks ship run-level so the placement's network is drawn exactly once
+    (one :func:`~repro.sim.runner.build_network` call) and shared by all
+    the protocols that missed the cache -- the same sharing the serial
+    :func:`~repro.sim.runner.run_many` loop does.  Byte-identical to
+    per-cell computation either way, because every simulation reseeds its
+    own RNG streams from ``mac_seed(run_seed)``.
+    """
+    factory, protocols, run_seed, config = args
+    scenario = factory()
+    network = build_network(scenario, run_seed, config)
+    return [
+        run_simulation(
+            scenario,
+            protocol,
+            seed=mac_seed(run_seed),
+            config=config,
+            network=network,
+        )
+        for protocol in protocols
+    ]
 
 
 def run_sweep(
@@ -296,12 +335,16 @@ def run_sweep(
     config:
         Simulation parameters; part of every cell's cache key.
     workers:
-        Worker processes for uncached cells.  ``1`` (default) simulates
-        in-process; ``None`` uses every usable core
-        (:func:`default_workers`).  Worker processes must be able to
-        import :mod:`repro`, and callables passed as ``scenario`` must be
-        picklable (module-level functions and :func:`functools.partial`
-        of them are).
+        Worker processes for uncached work.  Tasks ship run-level -- one
+        task per placement covering every protocol that missed the cache,
+        so each run draws its network exactly once no matter how many
+        protocols are swept (when more workers than uncached runs are
+        available, a run's protocols chunk across workers, each chunk
+        drawing once).  ``1`` (default) simulates in-process; ``None``
+        uses every usable core (:func:`default_workers`).
+        Worker processes must be able to import :mod:`repro`, and
+        callables passed as ``scenario`` must be picklable (module-level
+        functions and :func:`functools.partial` of them are).
     cache_dir:
         Directory of the on-disk results cache; ``None`` disables
         caching.  Entries are invalidated by any change to the scenario
@@ -341,10 +384,15 @@ def run_sweep(
     grid: Dict[str, List[Optional[NetworkMetrics]]] = {
         protocol: [None] * n_runs for protocol in protocols
     }
-    pending: List[Tuple[int, str, int]] = []  # (run, protocol, run_seed)
+    # One pending task per run, listing the protocols whose cells missed
+    # the cache: the unit of work shipped to a worker.  Protocols keep
+    # their sweep order inside each task so results are reproducible.
+    pending: List[Tuple[int, int, List[str]]] = []  # (run, run_seed, protocols)
+    misses = 0
     hits = 0
     for run in range(n_runs):
         run_seed = placement_seed(seed, run)
+        missing: List[str] = []
         for protocol in protocols:
             if cache is not None:
                 cached = cache.load(_cell_key(protocol, run_seed))
@@ -352,13 +400,15 @@ def run_sweep(
                     grid[protocol][run] = cached
                     hits += 1
                     continue
-            pending.append((run, protocol, run_seed))
+            missing.append(protocol)
+        if missing:
+            pending.append((run, run_seed, missing))
+            misses += len(missing)
 
-    def _record(cell: Tuple[int, str, int], metrics: NetworkMetrics) -> None:
-        run, protocol, run_seed = cell
+    def _record(run: int, run_seed: int, protocol: str, metrics: NetworkMetrics) -> None:
         grid[protocol][run] = metrics
         if cache is not None:
-            # Stored as soon as each cell completes, so an interrupted or
+            # Stored as soon as each task completes, so an interrupted or
             # partially failed sweep keeps every finished cell.
             cache.store(
                 _cell_key(protocol, run_seed),
@@ -374,51 +424,46 @@ def run_sweep(
             )
 
     if pending:
-        n_workers = default_workers() if workers is None else max(1, int(workers))
-        n_workers = min(n_workers, len(pending))
+        n_requested = default_workers() if workers is None else max(1, int(workers))
+        # One task normally covers all of a run's uncached protocols, so
+        # the run's network is drawn once.  When more workers than
+        # uncached runs are available, each run's protocol list is
+        # chunked so the extra workers stay busy -- every chunk still
+        # shares one network draw across its protocols, so the build
+        # count only grows as far as the concurrency actually used.
+        per_task = max(1, -(-misses // n_requested))  # ceil division
+        tasks: List[Tuple[int, int, List[str]]] = []
+        for run, run_seed, missing in pending:
+            for start in range(0, len(missing), per_task):
+                tasks.append((run, run_seed, missing[start : start + per_task]))
+        n_workers = min(n_requested, len(tasks))
+        payloads = [
+            (factory, list(missing), run_seed, config) for _, run_seed, missing in tasks
+        ]
         if n_workers > 1:
-            tasks = [
-                (factory, protocol, run_seed, config) for _, protocol, run_seed in pending
-            ]
             # fork keeps the already-imported repro modules; fall back to
             # spawn where fork is unavailable (e.g. macOS default policies).
             methods = multiprocessing.get_all_start_methods()
             ctx = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
             with ctx.Pool(processes=n_workers) as pool:
-                # imap (not map): results stream back cell by cell, and
-                # chunksize=1 keeps uneven cells from queueing behind a
+                # imap (not map): results stream back task by task, and
+                # chunksize=1 keeps uneven tasks from queueing behind a
                 # straggler worker.
-                for cell, metrics in zip(
-                    pending, pool.imap(_simulate_cell, tasks, chunksize=1)
+                for (run, run_seed, missing), metrics_list in zip(
+                    tasks, pool.imap(_simulate_run, payloads, chunksize=1)
                 ):
-                    _record(cell, metrics)
+                    for protocol, metrics in zip(missing, metrics_list):
+                        _record(run, run_seed, protocol, metrics)
         else:
-            # In-process: share one network across the protocols of each
-            # run (like run_many) instead of redrawing identical channels
-            # per cell.  Bit-identical either way; the per-cell form is
-            # only needed where cells land on different workers.
-            by_run: Dict[int, List[Tuple[int, str, int]]] = {}
-            for cell in pending:
-                by_run.setdefault(cell[2], []).append(cell)
-            for run_seed, cells in by_run.items():
-                scenario_obj = factory()
-                network = build_network(scenario_obj, run_seed, config)
-                for cell in cells:
-                    _, protocol, _ = cell
-                    metrics = run_simulation(
-                        scenario_obj,
-                        protocol,
-                        seed=mac_seed(run_seed),
-                        config=config,
-                        network=network,
-                    )
-                    _record(cell, metrics)
+            for (run, run_seed, missing), payload in zip(tasks, payloads):
+                for protocol, metrics in zip(missing, _simulate_run(payload)):
+                    _record(run, run_seed, protocol, metrics)
     else:
         n_workers = 1
 
     return SweepResult(
         results={protocol: list(column) for protocol, column in grid.items()},
         cache_hits=hits,
-        cache_misses=len(pending),
+        cache_misses=misses,
         workers=n_workers if pending else 1,
     )

@@ -190,6 +190,73 @@ class TestSweepCache:
         assert first.cache_misses == 1
         assert second.cache_hits == 0 and second.cache_misses == 1
 
+    def test_digest_covers_the_effective_default_testbed(self, monkeypatch):
+        """Default-floor scenarios are simulated on ``default_testbed()``;
+        the digest must track that *effective* testbed, so an edit to the
+        default floor or hardware profile misses the cache instead of
+        replaying cells simulated under the old defaults."""
+        import dataclasses as dc
+
+        import repro.sim.sweep as sweep_module
+        from repro.channel.hardware import HardwareProfile
+        from repro.channel.testbed import default_testbed
+
+        scenario = three_pair_scenario()
+        assert scenario.make_testbed() is None
+        baseline = scenario_digest(scenario)
+
+        # The effective digest equals the digest of the same scenario
+        # with the default testbed attached explicitly.
+        from repro.sim.scenarios import Scenario
+
+        explicit = Scenario(
+            scenario.name,
+            scenario.stations,
+            scenario.pairs,
+            testbed_factory=default_testbed,
+        )
+        assert scenario_digest(explicit) == baseline
+
+        # An edited default floor changes the digest...
+        def edited_floor(hardware=None):
+            testbed = default_testbed(hardware)
+            return dc.replace(testbed, path_loss_exponent=9.9)
+
+        monkeypatch.setattr(sweep_module, "default_testbed", edited_floor)
+        assert scenario_digest(scenario) != baseline
+
+        # ...and so does an edited default HardwareProfile.
+        def edited_hardware(hardware=None):
+            return default_testbed(
+                hardware or HardwareProfile(nulling_suppression_db=1.0)
+            )
+
+        monkeypatch.setattr(sweep_module, "default_testbed", edited_hardware)
+        assert scenario_digest(scenario) != baseline
+
+    def test_edited_default_testbed_misses_the_cache(self, tmp_path, monkeypatch):
+        """Regression for the ROADMAP item: a testbed change must not
+        replay stale cached cells for default-floor scenarios."""
+        import dataclasses as dc
+
+        import repro.sim.sweep as sweep_module
+        from repro.channel.testbed import default_testbed
+
+        first = run_sweep(
+            "three-pair", ["n+"], n_runs=1, seed=4, config=FAST, cache_dir=tmp_path
+        )
+        assert first.cache_misses == 1
+
+        def edited_floor(hardware=None):
+            testbed = default_testbed(hardware)
+            return dc.replace(testbed, shadowing_sigma_db=0.1)
+
+        monkeypatch.setattr(sweep_module, "default_testbed", edited_floor)
+        rerun = run_sweep(
+            "three-pair", ["n+"], n_runs=1, seed=4, config=FAST, cache_dir=tmp_path
+        )
+        assert rerun.cache_hits == 0 and rerun.cache_misses == 1
+
     def test_scenario_digest_tracks_structure(self):
         a = scenario_digest(dense_lan_scenario(n_pairs=2, seed=1))
         b = scenario_digest(dense_lan_scenario(n_pairs=2, seed=1))
@@ -209,6 +276,82 @@ class TestSweepCache:
             )
             != base
         )
+
+
+class TestRunLevelTasks:
+    """The parallel sweep ships one task per run: every run's network is
+    drawn exactly once, no matter how many protocols are swept."""
+
+    @staticmethod
+    def _count_build_network_calls(monkeypatch, **sweep_kwargs):
+        import multiprocessing
+
+        import repro.sim.sweep as sweep_module
+        from repro.sim.runner import build_network
+
+        calls = multiprocessing.Value("i", 0)
+
+        def counting_build_network(scenario, run_seed, config):
+            with calls.get_lock():
+                calls.value += 1
+            return build_network(scenario, run_seed, config)
+
+        monkeypatch.setattr(sweep_module, "build_network", counting_build_network)
+        result = run_sweep("three-pair", ["802.11n", "n+"], **sweep_kwargs)
+        return calls.value, result
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_one_network_per_run(self, monkeypatch, workers):
+        if workers > 1 and "fork" not in __import__("multiprocessing").get_all_start_methods():
+            pytest.skip("needs fork to observe worker-side calls")
+        calls, result = self._count_build_network_calls(
+            monkeypatch, n_runs=3, seed=4, config=FAST, workers=workers
+        )
+        assert calls == 3  # one build per run, not one per (run, protocol)
+        assert result.n_runs == 3 and len(result.results) == 2
+
+    def test_cached_protocols_do_not_rebuild(self, monkeypatch, tmp_path):
+        """A task only covers the protocols that missed the cache; a fully
+        cached run draws no network at all."""
+        run_sweep(
+            "three-pair", ["802.11n"], n_runs=2, seed=4, config=FAST, cache_dir=tmp_path
+        )
+        calls, result = self._count_build_network_calls(
+            monkeypatch, n_runs=2, seed=4, config=FAST, cache_dir=tmp_path
+        )
+        assert result.cache_hits == 2  # the 802.11n cells replay
+        assert result.cache_misses == 2  # the n+ cells simulate
+        assert calls == 2  # one network per run with uncached work
+        repeat_calls, repeat = self._count_build_network_calls(
+            monkeypatch, n_runs=2, seed=4, config=FAST, cache_dir=tmp_path
+        )
+        assert repeat.cache_hits == 4 and repeat_calls == 0
+
+    def test_worker_rich_sweeps_split_runs_for_concurrency(self, monkeypatch):
+        """With more workers than uncached runs, a run's protocols chunk
+        across workers (each chunk still drawing its network once), so
+        the extra workers are not left idle."""
+        if "fork" not in __import__("multiprocessing").get_all_start_methods():
+            pytest.skip("needs fork to observe worker-side calls")
+        calls, result = self._count_build_network_calls(
+            monkeypatch, n_runs=1, seed=4, config=FAST, workers=4
+        )
+        # 1 run x 2 protocols, 4 workers: two single-protocol chunks.
+        assert calls == 2
+        assert result.workers == 2
+        serial = run_sweep(
+            "three-pair", ["802.11n", "n+"], n_runs=1, seed=4, config=FAST, workers=1
+        )
+        assert _as_dicts(serial.results) == _as_dicts(result.results)
+
+    def test_run_level_results_match_per_cell_semantics(self):
+        """Shipping run-level tasks stays byte-identical to run_many."""
+        protocols = ["802.11n", "n+", "beamforming"]
+        serial = run_many(three_pair_scenario, protocols, n_runs=2, seed=6, config=FAST)
+        parallel = run_sweep(
+            "three-pair", protocols, n_runs=2, seed=6, config=FAST, workers=2
+        )
+        assert _as_dicts(serial) == _as_dicts(parallel.results)
 
 
 class TestMetricsRoundTrip:
