@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: test docs-check examples bench bench-compare bench-baseline
+.PHONY: test docs-check examples bench bench-compare bench-quick bench-baseline
 
 test:
 	$(PYTHON) -m pytest -q
@@ -22,6 +22,11 @@ bench: bench-compare
 
 bench-compare:
 	$(PYTHON) benchmarks/run_all.py --compare
+
+# The CI-affordable gate: skips the 500-station tier and the kept
+# reference implementations (each has a faster tracked sibling).
+bench-quick:
+	$(PYTHON) benchmarks/run_all.py --compare --quick
 
 bench-baseline:
 	$(PYTHON) benchmarks/run_all.py

@@ -152,6 +152,41 @@ class HardwareProfile:
         )
         return channel + error
 
+    def perturb_channel_batch(
+        self, channels: np.ndarray, rng: np.random.Generator, reciprocity: bool = False
+    ) -> np.ndarray:
+        """Noisy estimates of a stack of same-shape channels at once.
+
+        ``channels`` has shape ``(n_channels, ...)``.  The error normals
+        are drawn as one ``(n_channels, 2, ...)`` block, which consumes
+        the generator in exactly the order of ``n_channels`` sequential
+        :meth:`perturb_channel` calls -- slice ``c`` of the result is
+        bit-identical to ``perturb_channel(channels[c], rng,
+        reciprocity)`` (the test suite asserts it).  One stacked call
+        instead of two rng calls plus bookkeeping per link is what makes
+        the grouped estimate prefetch
+        (:meth:`repro.sim.network.Network.prefetch_estimates`) cheap.
+        """
+        channels = np.asarray(channels, dtype=complex)
+        if channels.ndim < 2:
+            raise ValueError(
+                f"channels must be a stack with shape (n_channels, ...), got {channels.shape}"
+            )
+        n_channels = channels.shape[0]
+        if channels.size:
+            power = np.mean(np.abs(channels) ** 2, axis=tuple(range(1, channels.ndim)))
+        else:
+            power = np.zeros(n_channels)
+        error_db = self.channel_estimation_error_db
+        if reciprocity:
+            error_db = 10 * np.log10(
+                db_to_linear(error_db) + db_to_linear(self.reciprocity_error_db)
+            )
+        variance = power * db_to_linear(error_db)
+        raw = rng.standard_normal((n_channels, 2) + channels.shape[1:])
+        scale = np.sqrt(variance / 2.0).reshape((n_channels,) + (1,) * (channels.ndim - 1))
+        return channels + scale * (raw[:, 0] + 1j * raw[:, 1])
+
     def draw_cfo(self, rng: np.random.Generator) -> float:
         """Draw a carrier-frequency offset for a node, in Hz."""
         return float(rng.uniform(-self.max_cfo_hz, self.max_cfo_hz))

@@ -22,6 +22,7 @@ __all__ = [
     "exponential_power_delay_profile",
     "MultipathChannel",
     "frequency_response_batch",
+    "frequency_response_at_bins_batch",
 ]
 
 
@@ -247,3 +248,35 @@ def frequency_response_batch(taps: np.ndarray, fft_size: int = NUM_SUBCARRIERS) 
     padded = np.zeros((n_channels, fft_size, n_rx, n_tx), dtype=complex)
     padded[:, :n_taps] = taps
     return np.fft.fft(padded, axis=1)
+
+
+def frequency_response_at_bins_batch(
+    taps: np.ndarray, bins: np.ndarray, fft_size: int = NUM_SUBCARRIERS
+) -> np.ndarray:
+    """Frequency responses of a stack of channels, at selected bins only.
+
+    Evaluates the DFT of the zero-padded taps directly at the requested
+    ``bins`` -- one einsum against an ``(n_taps, n_bins)`` twiddle matrix
+    -- instead of a full ``fft_size``-point FFT followed by bin
+    selection.  For the testbed's few-tap channels this is cheaper, and
+    (more importantly at the 500-station tier) it never materialises the
+    ``(n_channels, fft_size, n_rx, n_tx)`` padded intermediate.  The
+    result equals ``frequency_response_batch(taps, fft_size)[:, bins]``
+    up to floating-point rounding; the grouped (v3) draw contract of
+    :meth:`repro.sim.network.Network._draw_channels_grouped` pins *this*
+    formulation.
+
+    ``taps`` has shape ``(n_channels, n_taps, n_rx, n_tx)``; the result
+    has shape ``(n_channels, len(bins), n_rx, n_tx)``.
+    """
+    taps = np.asarray(taps, dtype=complex)
+    if taps.ndim != 4:
+        raise DimensionError(
+            f"taps must have shape (n_channels, n_taps, n_rx, n_tx), got {taps.shape}"
+        )
+    bins = np.asarray(bins, dtype=int)
+    if bins.ndim != 1:
+        raise DimensionError(f"bins must be 1-D, got shape {bins.shape}")
+    delays = np.arange(taps.shape[1])
+    twiddle = np.exp((-2j * np.pi / fft_size) * np.outer(delays, bins))
+    return np.einsum("ctnm,tk->cknm", taps, twiddle)

@@ -206,6 +206,49 @@ class Testbed:
         # Line of sight: a strong first tap plus weak scattering.
         return snr_db, 0.6 if line_of_sight else 1.5
 
+    def draw_link_scalars_batch(
+        self,
+        path_loss_db: np.ndarray,
+        rng: np.random.Generator,
+        forced_snr_db: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Every link's scalar draws at once -- the grouped (v3) contract.
+
+        Where :meth:`draw_link_scalars` interleaves the two scalar draws
+        link by link (the contract the ``"batched"``/``"per-pair"`` v2
+        network constructions share), this consumes randomness
+        **scalars-first**: ONE ``rng.normal`` call draws the shadowing of
+        every link, then ONE ``rng.random`` call draws every
+        line-of-sight coin.  A shadowing value is drawn (and discarded)
+        even for links whose SNR is forced, so the stream layout depends
+        only on the link count, never on the forced set.  Seeded results
+        therefore differ from the v2 contracts by design -- selecting
+        this contract rides the ``CACHE_SCHEMA_VERSION`` bump (see
+        :mod:`repro.sim.sweep`).
+
+        Parameters
+        ----------
+        path_loss_db:
+            Deterministic log-distance losses, shape ``(n_links,)``.
+        rng:
+            The construction generator.
+        forced_snr_db:
+            Optional ``(n_links,)`` array of forced SNRs, ``NaN`` where
+            the link derives its budget from the geometry.
+
+        Returns ``(snr_db, decay_samples)`` arrays of shape ``(n_links,)``.
+        """
+        loss = np.asarray(path_loss_db, dtype=float)
+        shadow = rng.normal(0.0, self.shadowing_sigma_db, size=loss.shape)
+        snr = self.tx_power_dbm - (loss + shadow) - self.noise_floor_dbm
+        snr = np.minimum(np.maximum(snr, self.min_snr_db), self.max_snr_db)
+        if forced_snr_db is not None:
+            forced = np.asarray(forced_snr_db, dtype=float)
+            snr = np.where(np.isnan(forced), snr, forced)
+        line_of_sight = rng.random(loss.shape) < self.los_probability
+        decay = np.where(line_of_sight, 0.6, 1.5)
+        return snr, decay
+
     def link(
         self,
         tx_location: int,

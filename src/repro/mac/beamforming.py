@@ -73,6 +73,13 @@ class BeamformingMac(BaseMacAgent):
             return []
         antennas = [self.network.station(r).n_antennas for r in receiver_ids]
         allocation = distribute_streams(self.n_antennas, antennas)
+        # Under the grouped draw contract, measure all of this
+        # transmission's links in one stacked draw (no-op under v2).
+        self.network.prefetch_estimates(
+            (self.node_id, receiver_id, False)
+            for receiver_id, n_streams in zip(receiver_ids, allocation)
+            if n_streams > 0
+        )
         receivers: List[PlannedReceiver] = []
         for receiver_id, n_streams in zip(receiver_ids, allocation):
             if n_streams == 0:

@@ -188,6 +188,19 @@ class NPlusMac(BeamformingMac):
         max_new = self.n_antennas - used
         if max_new <= 0:
             return None
+        # Measure every link this configuration can need in one batched
+        # prefetch: the reciprocity estimates to all ongoing receivers
+        # plus the forward estimates to our own candidate receivers.  A
+        # no-op under the v2 draw contracts, which keep the lazy
+        # one-link-at-a-time draw order (see Network.prefetch_estimates).
+        self.network.prefetch_estimates(
+            [(self.node_id, rid, True) for rid in medium.receiving_nodes()]
+            + [
+                (self.node_id, r.node_id, False)
+                for r in self.pair.receivers
+                if r.n_antennas > used and self.queues[r.node_id].has_traffic
+            ]
+        )
         protected = self._protected_receivers(medium)
         receivers = self._own_receivers(medium, max_new)
         if not receivers:

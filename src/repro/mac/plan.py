@@ -85,7 +85,11 @@ class PlanCache:
     invalidate on, precisely because the channels are static.  The cache
     must not be shared across simulations (the runner creates one per
     :func:`repro.sim.runner.run_simulation`).  Cached arrays are shared
-    by reference, so callers must treat them as read-only.
+    by reference, so callers must treat them as read-only -- the same
+    shared-view invariant the :class:`repro.sim.network.ChannelBank`
+    *enforces* for the true channels (they are non-writable views; a
+    would-be mutation raises instead of corrupting every plan built from
+    the same memory).
     """
 
     def __init__(self) -> None:

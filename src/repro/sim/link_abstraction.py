@@ -7,7 +7,11 @@ interference it can see and zero-forces among its wanted streams.  The
 computation uses:
 
 * the *true* channels of the run (the pre-coders, in contrast, were
-  computed by the transmitters from *estimated* channels),
+  computed by the transmitters from *estimated* channels).  True
+  channels come out of the :class:`repro.sim.network.ChannelBank` as
+  read-only (possibly transposed) views of shared per-group tensors, so
+  everything here treats them as immutable inputs -- slicing and
+  einsum-ing views is fine, in-place writes would raise,
 * the pre-coding vectors and power of every stream on the air,
 * the residual-interference model of the hardware profile for streams
   that were pre-coded to protect this receiver (imperfect nulling and

@@ -4,24 +4,41 @@ A :class:`Network` freezes everything that is random *per run* in the
 paper's methodology -- the assignment of nodes to testbed locations and
 the resulting channels -- so the MAC protocols under comparison see the
 exact same propagation environment.
+
+Channels are held in a :class:`ChannelBank`: one stacked read-only
+tensor per antenna-shape group plus an index from a directed ``(tx,
+rx)`` link to ``(group, slot, transposed)``.  The reciprocal direction
+of every pair is served as a transposed *view* of the same memory (no
+copies), which halves construction memory; the read-only flag guards the
+shared-view invariant.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from functools import lru_cache
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.channel.hardware import HardwareProfile
-from repro.channel.multipath import MultipathChannel, frequency_response_batch
+from repro.channel.multipath import (
+    MultipathChannel,
+    frequency_response_at_bins_batch,
+    frequency_response_batch,
+)
 from repro.channel.testbed import Testbed, default_testbed
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, DimensionError
 from repro.sim.node import Station, TrafficPair
 from repro.utils.db import db_to_linear
 
-__all__ = ["Network"]
+__all__ = ["ChannelBank", "Network"]
+
+#: The recognised channel-draw contracts, most recent first.  "grouped"
+#: is the v3 contract (scalars-first, one tap draw per antenna-shape
+#: group, estimation noise prefetched in stacked draws); "batched" and
+#: "per-pair" are the mutually bit-identical v2 contracts (per-pair draw
+#: order, vectorized vs readable math).
+DRAW_CONTRACTS = ("grouped", "batched", "per-pair")
 
 
 @lru_cache(maxsize=None)
@@ -46,6 +63,113 @@ def _subcarrier_bins(n_subcarriers: int) -> np.ndarray:
     return bins
 
 
+class ChannelBank:
+    """Structure-of-arrays storage of every station pair's channel.
+
+    Channels drawn per unordered pair ``(a, b)`` (``a < b`` in canonical
+    draw order) are stored as one stacked tensor per antenna-shape group
+    -- shape ``(n_pairs_in_group, n_sub, N, M)`` -- plus an index
+    mapping a *directed* ``(tx, rx)`` link to ``(group, slot,
+    transposed)``.  The reciprocal ``b -> a`` direction is served as a
+    read-only transposed **view** of the same memory instead of a
+    ``.copy()``, halving construction memory.  Every stored array is
+    marked non-writable: a consumer mutating a returned channel would
+    silently corrupt the reverse direction and every memoized plan built
+    from it, so mutation raises instead (the shared-view invariant;
+    ``.copy()`` first for a scratch buffer).
+    """
+
+    def __init__(self) -> None:
+        self._stacks: List[np.ndarray] = []
+        self._snrs: List[np.ndarray] = []
+        self._index: Dict[Tuple[int, int], Tuple[int, int]] = {}
+
+    # -- construction ---------------------------------------------------------
+
+    def add_group(
+        self,
+        pairs: Sequence[Tuple[int, int]],
+        responses: np.ndarray,
+        snrs_db: Sequence[float],
+    ) -> None:
+        """Store one antenna-shape group of drawn channels.
+
+        ``pairs`` lists unordered ``(a, b)`` station ids in slot order;
+        ``responses`` is the stacked ``(len(pairs), n_sub, N, M)``
+        tensor whose slot ``i`` is the ``a -> b`` response of
+        ``pairs[i]``, and ``snrs_db`` the per-pair average link SNRs.
+        """
+        responses = np.asarray(responses)
+        snrs = np.asarray(snrs_db, dtype=float)
+        if responses.ndim != 4 or responses.shape[0] != len(pairs):
+            raise DimensionError(
+                f"responses must have shape ({len(pairs)}, n_sub, N, M), "
+                f"got {responses.shape}"
+            )
+        if snrs.shape != (len(pairs),):
+            raise DimensionError(
+                f"snrs_db must have one entry per pair, got shape {snrs.shape}"
+            )
+        responses.setflags(write=False)
+        snrs.setflags(write=False)
+        group = len(self._stacks)
+        self._stacks.append(responses)
+        self._snrs.append(snrs)
+        for slot, (a, b) in enumerate(pairs):
+            self._index[(int(a), int(b))] = (group, slot)
+
+    # -- lookups --------------------------------------------------------------
+
+    def lookup(self, tx_id: int, rx_id: int) -> Tuple[int, int, bool]:
+        """``(group, slot, transposed)`` of a directed link.
+
+        ``transposed`` is ``True`` when the link is served as the
+        transposed view of the stored reciprocal direction.  Raises
+        ``KeyError`` for a link no group covers.
+        """
+        entry = self._index.get((tx_id, rx_id))
+        if entry is not None:
+            return entry[0], entry[1], False
+        group, slot = self._index[(rx_id, tx_id)]
+        return group, slot, True
+
+    def channel(self, tx_id: int, rx_id: int) -> np.ndarray:
+        """The read-only ``(n_sub, N, M)`` response of a directed link."""
+        group, slot, transposed = self.lookup(tx_id, rx_id)
+        response = self._stacks[group][slot]
+        return response.transpose(0, 2, 1) if transposed else response
+
+    def snr_db(self, tx_id: int, rx_id: int) -> float:
+        """The average SNR of a directed link (symmetric by reciprocity)."""
+        group, slot, _ = self.lookup(tx_id, rx_id)
+        return float(self._snrs[group][slot])
+
+    def __contains__(self, link: Tuple[int, int]) -> bool:
+        tx_id, rx_id = link
+        return (tx_id, rx_id) in self._index or (rx_id, tx_id) in self._index
+
+    def pairs(self) -> List[Tuple[int, int]]:
+        """The stored unordered pairs, in (group, slot) order."""
+        return list(self._index)
+
+    @property
+    def n_pairs(self) -> int:
+        """Number of stored unordered pairs."""
+        return len(self._index)
+
+    @property
+    def n_groups(self) -> int:
+        """Number of antenna-shape groups."""
+        return len(self._stacks)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the stacked tensors (reciprocals are free views)."""
+        return sum(stack.nbytes for stack in self._stacks) + sum(
+            snrs.nbytes for snrs in self._snrs
+        )
+
+
 class Network:
     """Stations plus the (true) channels between every pair of them.
 
@@ -67,12 +191,23 @@ class Network:
         Optional map ``(tx_id, rx_id) -> SNR`` overriding the geometric
         link budget for controlled experiments.
     channel_draws:
-        ``"batched"`` (default) draws every station pair's channel with
-        the vectorized group pipeline (station pairs grouped by antenna
-        shape, tap scaling and the 64-point FFT computed for a whole
-        group at once); ``"per-pair"`` runs the readable per-pair loop.
-        Both are bit-identical -- the per-pair loop is kept as the
-        reference the batched path is asserted against.
+        Which draw contract turns the generator into channels:
+
+        * ``"batched"`` (default) -- the v2 contract: per pair (in
+          canonical order) the shadowing draw, the line-of-sight coin
+          and one tap-normal draw, with tap scaling and the 64-point FFT
+          vectorized per antenna-shape group.
+        * ``"per-pair"`` -- the readable v2 reference loop; bit-identical
+          to ``"batched"`` (the test suite asserts it down to the
+          post-draw generator state).
+        * ``"grouped"`` -- the v3 contract: randomness is consumed
+          scalars-first (one shadowing draw for *all* pairs, one
+          line-of-sight draw for all pairs, then ONE tap draw per
+          antenna-shape group -- no per-pair rng calls at all) and
+          estimation noise is prefetched in stacked shape-grouped draws
+          (:meth:`prefetch_estimates`).  Seeded results deliberately
+          differ from v2, which is why selecting it rides the
+          ``CACHE_SCHEMA_VERSION`` 3 bump (:mod:`repro.sim.sweep`).
     """
 
     def __init__(
@@ -87,10 +222,10 @@ class Network:
     ) -> None:
         if n_subcarriers < 1:
             raise ConfigurationError("need at least one subcarrier")
-        if channel_draws not in ("batched", "per-pair"):
+        if channel_draws not in DRAW_CONTRACTS:
             raise ConfigurationError(
                 f"unknown channel_draws {channel_draws!r}; "
-                "choose 'batched' or 'per-pair'"
+                f"choose one of {list(DRAW_CONTRACTS)}"
             )
         self.stations: Dict[int, Station] = {s.node_id: s for s in stations}
         if len(self.stations) != len(stations):
@@ -101,14 +236,16 @@ class Network:
         self.n_subcarriers = n_subcarriers
         self.noise_power = 1.0
         self.hardware: HardwareProfile = self.testbed.hardware
+        self.channel_draws = channel_draws
         self._forced_snrs = dict(forced_link_snrs_db or {})
         self._estimation_rng: Optional[np.random.Generator] = None
         self._estimate_memo: Dict[Tuple[int, int, bool], np.ndarray] = {}
 
         self._place_stations()
-        self._channels: Dict[Tuple[int, int], np.ndarray] = {}
-        self._link_snrs: Dict[Tuple[int, int], float] = {}
-        if channel_draws == "batched":
+        self.channels = ChannelBank()
+        if channel_draws == "grouped":
+            self._draw_channels_grouped()
+        elif channel_draws == "batched":
             self._draw_channels()
         else:
             self._draw_channels_reference()
@@ -117,8 +254,11 @@ class Network:
 
     def _place_stations(self) -> None:
         placements = self.testbed.place_nodes(len(self.stations), self.rng)
-        for station, location in zip(self.stations.values(), placements):
-            station.location = int(location)
+        # Assign locations in sorted-id order (not station-list order) so
+        # the node-id -> location mapping -- and therefore every channel
+        # -- never depends on how the caller ordered the station list.
+        for node_id, location in zip(sorted(self.stations), placements):
+            self.stations[node_id].location = int(location)
 
     def _subcarrier_indices(self) -> np.ndarray:
         return _subcarrier_bins(self.n_subcarriers)
@@ -132,15 +272,110 @@ class Network:
                 forced = self._forced_snrs.get((a, b), self._forced_snrs.get((b, a)))
                 yield a, b, forced
 
-    def _store_pair(self, a: int, b: int, response: np.ndarray, snr_db: float) -> None:
-        """Record a drawn channel and its reciprocal direction."""
-        self._channels[(a, b)] = response
-        self._channels[(b, a)] = np.transpose(response, (0, 2, 1)).copy()
-        self._link_snrs[(a, b)] = snr_db
-        self._link_snrs[(b, a)] = snr_db
+    def _pair_losses(self, ids: List[int]) -> np.ndarray:
+        """Log-distance path loss of every placed-location pair.
+
+        Vectorized once through the same
+        :meth:`~repro.channel.testbed.Testbed.path_loss_at_distance`
+        formula (and hypot/log10 ufuncs) the scalar per-pair path
+        evaluates -- bit-identical elementwise.
+        """
+        coords = np.array(
+            [self.testbed.locations[self.stations[node].location] for node in ids],
+            dtype=float,
+        )
+        deltas = coords[:, None, :] - coords[None, :, :]
+        return self.testbed.path_loss_at_distance(
+            np.hypot(deltas[..., 0], deltas[..., 1])
+        )
+
+    def _forced_snr_rows(self, ids: List[int]) -> Optional[np.ndarray]:
+        """Forced SNR per canonical pair row (``NaN`` = unforced).
+
+        Matches the precedence of :meth:`_pair_iter`: a ``(a, b)`` entry
+        with ``a < b`` wins over its ``(b, a)`` mirror.
+        """
+        if not self._forced_snrs:
+            return None
+        n = len(ids)
+        index_of = {node: row for row, node in enumerate(ids)}
+        forced = np.full(n * (n - 1) // 2, np.nan)
+        for prefer_forward in (False, True):
+            for (x, y), snr in self._forced_snrs.items():
+                if x == y or x not in index_of or y not in index_of:
+                    continue
+                if (x < y) != prefer_forward:
+                    continue
+                i, j = sorted((index_of[x], index_of[y]))
+                row = i * n - i * (i + 1) // 2 + (j - i - 1)
+                forced[row] = float(snr)
+        return forced
+
+    def _draw_channels_grouped(self) -> None:
+        """Draw every pair's channel under the ``"grouped"`` v3 contract.
+
+        Randomness is consumed **scalars-first**, with no per-pair rng
+        calls at all:
+
+        1. one ``rng.normal`` call draws every pair's shadowing, in
+           canonical pair order (forced-SNR pairs draw and discard
+           theirs, so the stream layout depends only on the pair count);
+        2. one ``rng.random`` call draws every line-of-sight coin;
+        3. one ``rng.standard_normal`` call per antenna-shape group
+           draws all of that group's tap normals -- groups ordered by
+           ``(n_tx, n_rx)``, pairs inside a group in canonical order.
+
+        Frequency responses are evaluated directly at the tracked bins
+        (:func:`~repro.channel.multipath.frequency_response_at_bins_batch`),
+        skipping the padded 64-point FFT.  Because draws depend only on
+        the *sorted* station ids, the result is independent of station-
+        and pair-list order (asserted by the test suite).  The draw
+        order deliberately differs from the v2 contracts -- it removes
+        their ~3 small rng calls per pair -- which is why this contract
+        rides the ``CACHE_SCHEMA_VERSION`` 3 bump.
+        """
+        ids = sorted(self.stations)
+        n = len(ids)
+        if n < 2:
+            return
+        bins = self._subcarrier_indices()
+        testbed = self.testbed
+        n_taps = testbed.n_taps
+
+        # Canonical pair table: np.triu_indices walks rows in the exact
+        # order of _pair_iter's nested loop.
+        ai, bi = np.triu_indices(n, k=1)
+        losses = self._pair_losses(ids)[ai, bi]
+        antennas = np.array([self.stations[node].n_antennas for node in ids])
+        n_tx = antennas[ai]
+        n_rx = antennas[bi]
+
+        snrs, decays = testbed.draw_link_scalars_batch(
+            losses, self.rng, forced_snr_db=self._forced_snr_rows(ids)
+        )
+
+        id_arr = np.array(ids)
+        shape_key = n_tx * (int(antennas.max()) + 1) + n_rx
+        for key in np.unique(shape_key):  # sorted == (n_tx, n_rx) lexicographic
+            rows = np.flatnonzero(shape_key == key)  # ascending == canonical order
+            m, r = int(n_tx[rows[0]]), int(n_rx[rows[0]])
+            raw = self.rng.standard_normal((rows.size, n_taps, 2, r, m))
+            taps = MultipathChannel.random_batch(
+                r,
+                m,
+                rng=None,
+                n_channels=rows.size,
+                n_taps=n_taps,
+                decay_samples=decays[rows],
+                average_gain=db_to_linear(snrs[rows]),
+                raw=raw,
+            )
+            responses = frequency_response_at_bins_batch(taps, bins)
+            pairs = list(zip(id_arr[ai[rows]].tolist(), id_arr[bi[rows]].tolist()))
+            self.channels.add_group(pairs, responses, snrs[rows])
 
     def _draw_channels(self) -> None:
-        """Draw every pair's channel with batched per-group math.
+        """Draw every pair's channel with batched per-group math (v2).
 
         Random numbers are consumed in exactly the order of
         :meth:`_draw_channels_reference` -- per pair: shadowing, the
@@ -156,19 +391,9 @@ class Network:
         testbed = self.testbed
         n_taps = testbed.n_taps
 
-        # Deterministic geometry, vectorized once: the log-distance path
-        # loss of every placed-location pair, through the same
-        # Testbed.path_loss_at_distance formula (and hypot/log10 ufuncs)
-        # the scalar per-pair path evaluates -- bit-identical elementwise.
         ids = sorted(self.stations)
-        coords = np.array(
-            [testbed.locations[self.stations[node].location] for node in ids], dtype=float
-        )
+        losses = self._pair_losses(ids)
         index_of = {node: row for row, node in enumerate(ids)}
-        deltas = coords[:, None, :] - coords[None, :, :]
-        losses = testbed.path_loss_at_distance(
-            np.hypot(deltas[..., 0], deltas[..., 1])
-        )
 
         # Pass 1: the per-pair draws, in reference order.  Only the three
         # rng calls (and bookkeeping) remain per pair; the draw sequence
@@ -211,17 +436,19 @@ class Network:
                 raw=np.stack(group["raws"]),
             )
             responses = frequency_response_batch(taps, 64)[:, bins]  # (C, n_sub, N, M)
-            for index, (a, b) in enumerate(group["pairs"]):
-                self._store_pair(a, b, responses[index], float(snrs[index]))
+            self.channels.add_group(group["pairs"], responses, snrs)
 
     def _draw_channels_reference(self) -> None:
         """Draw one frequency-selective channel per unordered station pair
         and derive the reverse direction by reciprocity (transposition).
 
         The readable per-pair loop, kept as the reference
-        :meth:`_draw_channels` is asserted bit-identical against.
+        :meth:`_draw_channels` is asserted bit-identical against.  The
+        drawn responses land in the same :class:`ChannelBank` layout as
+        the other contracts (grouped by antenna shape at the end).
         """
         bins = self._subcarrier_indices()
+        groups: Dict[Tuple[int, int], dict] = {}
         for a, b, forced in self._pair_iter():
             sta_a = self.stations[a]
             sta_b = self.stations[b]
@@ -234,7 +461,17 @@ class Network:
                 snr_db=forced,
             )
             response = link.frequency_response(64)[bins]  # (n_sub, N_b, M_a)
-            self._store_pair(a, b, response, link.snr_db)
+            group = groups.setdefault(
+                (sta_a.n_antennas, sta_b.n_antennas),
+                {"pairs": [], "responses": [], "snrs": []},
+            )
+            group["pairs"].append((a, b))
+            group["responses"].append(response)
+            group["snrs"].append(link.snr_db)
+        for group in groups.values():
+            self.channels.add_group(
+                group["pairs"], np.stack(group["responses"]), group["snrs"]
+            )
 
     # -- lookups ---------------------------------------------------------------------
 
@@ -251,13 +488,19 @@ class Network:
 
     def link_snr_db(self, tx_id: int, rx_id: int) -> float:
         """The average SNR of the link between two stations."""
-        return self._link_snrs[(tx_id, rx_id)]
+        return self.channels.snr_db(tx_id, rx_id)
 
     def true_channel(self, tx_id: int, rx_id: int) -> np.ndarray:
-        """The true per-subcarrier channel ``(n_subcarriers, N_rx, M_tx)``."""
+        """The true per-subcarrier channel ``(n_subcarriers, N_rx, M_tx)``.
+
+        The returned array is **read-only**: the reciprocal direction is
+        a transposed view of the same memory (see :class:`ChannelBank`),
+        so mutating it would corrupt both directions -- ``.copy()``
+        first if a writable scratch buffer is needed.
+        """
         if tx_id == rx_id:
             raise ConfigurationError("a node has no channel to itself")
-        return self._channels[(tx_id, rx_id)]
+        return self.channels.channel(tx_id, rx_id)
 
     def reseed_estimation_noise(self, seed) -> None:
         """Give channel-estimation noise its own seeded random stream.
@@ -303,6 +546,9 @@ class Network:
         Measurement noise is drawn from the stream installed by
         :meth:`reseed_estimation_noise` when one is set (the runner always
         sets one), falling back to the construction generator otherwise.
+        Under the ``"grouped"`` contract, :meth:`prefetch_estimates` can
+        fill the memo for many links in stacked draws before the
+        per-link queries arrive.
         """
         key = (tx_id, rx_id, reciprocity)
         memo = self._estimate_memo.get(key)
@@ -314,6 +560,48 @@ class Network:
         estimate.setflags(write=False)
         self._estimate_memo[key] = estimate
         return estimate
+
+    def prefetch_estimates(self, links: Iterable[Tuple[int, int, bool]]) -> None:
+        """Measure a batch of links now, in stacked shape-grouped draws.
+
+        Under the ``"grouped"`` (v3) draw contract the links of a
+        contention configuration are measured together: the unmemoized
+        queries are grouped by (channel shape, reciprocity) in
+        first-appearance order and each group draws its measurement
+        noise in one
+        :meth:`~repro.channel.hardware.HardwareProfile.perturb_channel_batch`
+        call.  Later :meth:`estimated_channel` calls hit the memo.
+
+        Under the v2 contracts (``"batched"``/``"per-pair"``) this is a
+        **no-op**: they keep the lazy one-link-at-a-time draw order so
+        seeded v2 results stay reproducible.
+
+        ``links`` is an iterable of ``(tx_id, rx_id, reciprocity)``.
+        Prefetching is deterministic but *order-sensitive* (like every
+        draw), so callers must pass links in a deterministic order --
+        the MAC layers pass them in medium/receiver order.
+        """
+        if self.channel_draws != "grouped":
+            return
+        pending: Dict[Tuple[tuple, bool], Dict[tuple, np.ndarray]] = {}
+        for tx_id, rx_id, reciprocity in links:
+            key = (tx_id, rx_id, bool(reciprocity))
+            if key in self._estimate_memo:
+                continue
+            true = self.true_channel(tx_id, rx_id)
+            bucket = pending.setdefault((true.shape, bool(reciprocity)), {})
+            bucket.setdefault(key, true)
+        if not pending:
+            return
+        rng = self._estimation_rng if self._estimation_rng is not None else self.rng
+        for (_, reciprocity), bucket in pending.items():
+            stack = np.stack(list(bucket.values()))
+            estimates = self.hardware.perturb_channel_batch(
+                stack, rng, reciprocity=reciprocity
+            )
+            estimates.setflags(write=False)
+            for index, key in enumerate(bucket):
+                self._estimate_memo[key] = estimates[index]
 
     # -- summary ---------------------------------------------------------------------
 

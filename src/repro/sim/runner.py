@@ -69,6 +69,7 @@ __all__ = [
     "run_many",
     "simulate_placement",
     "build_network",
+    "effective_channel_draws",
     "placement_seed",
     "mac_seed",
     "mac_factory",
@@ -153,6 +154,17 @@ class SimulationConfig:
         (:attr:`repro.sim.scenarios.Scenario.packet_rate_pps`, used by the
         bursty dense-LAN scenarios) applies instead; ``0`` explicitly
         forces saturated sources even on such a scenario.
+    channel_draws:
+        Which channel-draw contract builds the run's network (see
+        :class:`repro.sim.network.Network`): ``"grouped"`` (the v3
+        scalars-first contract), ``"batched"`` or ``"per-pair"`` (the
+        mutually bit-identical v2 contracts).  ``None`` (the default)
+        defers to the scenario's
+        :attr:`~repro.sim.scenarios.Scenario.channel_draws` hint (the
+        ``dense-lan-500`` tier declares ``"grouped"``), falling back to
+        ``"batched"``.  Unlike ``pipeline``/``plan_cache`` this knob
+        changes seeded results, so it is part of the sweep cache key
+        (via the config digest).
     """
 
     duration_us: float = 100_000.0
@@ -162,6 +174,7 @@ class SimulationConfig:
     bitrate_margin_db: float = 1.0
     max_rounds: int = 200_000
     packet_rate_pps: Optional[float] = None
+    channel_draws: Optional[str] = None
 
 
 @dataclass
@@ -186,6 +199,20 @@ def _effective_packet_rate(scenario: Scenario, config: SimulationConfig) -> Opti
     if config.packet_rate_pps is not None:
         return config.packet_rate_pps if config.packet_rate_pps > 0 else None
     return getattr(scenario, "packet_rate_pps", None)
+
+
+def effective_channel_draws(scenario: Scenario, config: SimulationConfig) -> str:
+    """The channel-draw contract in effect: config beats the scenario hint.
+
+    ``None`` everywhere resolves to ``"batched"``, the default v2
+    contract.  This is *the* resolution rule -- :func:`build_network`,
+    :func:`run_simulation` and the condensed reference all route through
+    it, so a scenario that declares the grouped contract (e.g.
+    ``dense-lan-500``) is built identically everywhere.
+    """
+    if config.channel_draws is not None:
+        return config.channel_draws
+    return getattr(scenario, "channel_draws", None) or "batched"
 
 
 def _build_agents(
@@ -674,6 +701,7 @@ def run_simulation(
             rng,
             testbed=scenario.make_testbed(),
             n_subcarriers=config.n_subcarriers,
+            channel_draws=effective_channel_draws(scenario, config),
         )
     network.reseed_estimation_noise((seed, _ESTIMATION_STREAM_TAG))
     loop = loop_class(
@@ -712,6 +740,7 @@ def _run_simulation_condensed_reference(
             rng,
             testbed=scenario.make_testbed(),
             n_subcarriers=config.n_subcarriers,
+            channel_draws=effective_channel_draws(scenario, config),
         )
     network.reseed_estimation_noise((seed, _ESTIMATION_STREAM_TAG))
     agents = _build_agents(scenario, network, protocol, rng, config, seed)
@@ -868,6 +897,7 @@ def build_network(scenario: Scenario, run_seed: int, config: SimulationConfig) -
         np.random.default_rng(run_seed),
         testbed=scenario.make_testbed(),
         n_subcarriers=config.n_subcarriers,
+        channel_draws=effective_channel_draws(scenario, config),
     )
 
 

@@ -12,10 +12,13 @@ stable string::
     >>> scenario = scenario_factory("three-pair")()
 
 The ``dense-lan-*`` family models the production-scale regime the
-ROADMAP asks for: 20-200 node LANs with heterogeneous 1x1/2x2/3x3 antenna
+ROADMAP asks for: 20-500 node LANs with heterogeneous 1x1/2x2/3x3 antenna
 mixes on a larger synthetic floor, in saturated and bursty variants.
 The 100/200-station tier is the workload of the batched round pipeline
-(``repro.sim.runner``, ``pipeline="batched"``).
+(``repro.sim.runner``, ``pipeline="batched"``); the 500-station tier
+additionally declares the grouped (v3) channel-draw contract
+(``channel_draws="grouped"``), whose scalars-first construction is what
+makes a 124750-pair network draw affordable.
 """
 
 from __future__ import annotations
@@ -66,6 +69,17 @@ class Scenario:
         Optional suggested per-flow Poisson arrival rate.  ``None`` means
         saturated sources.  A :class:`~repro.sim.runner.SimulationConfig`
         with an explicit ``packet_rate_pps`` overrides this hint.
+    channel_draws:
+        Optional suggested channel-draw contract
+        (:class:`repro.sim.network.Network`): ``"grouped"``, ``"batched"``
+        or ``"per-pair"``.  ``None`` means the default (``"batched"``).
+        The 500-station tier declares ``"grouped"`` -- at that density
+        the v2 per-pair draw order is the dominant construction cost.  A
+        config with an explicit
+        :attr:`~repro.sim.runner.SimulationConfig.channel_draws`
+        overrides this hint.  The hint is part of
+        :func:`repro.sim.sweep.scenario_digest` because it changes every
+        seeded channel.
     """
 
     name: str
@@ -73,6 +87,7 @@ class Scenario:
     pairs: List[TrafficPair]
     testbed_factory: Optional[Callable[[], "Testbed"]] = None
     packet_rate_pps: Optional[float] = None
+    channel_draws: Optional[str] = None
 
     def station_by_name(self, name: str) -> Station:
         """Look up a station by its label."""
@@ -168,6 +183,7 @@ def dense_lan_scenario(
     seed: int = 0,
     packet_rate_pps: Optional[float] = None,
     name: Optional[str] = None,
+    channel_draws: Optional[str] = None,
 ) -> Scenario:
     """A dense LAN: many contending pairs with a heterogeneous antenna mix.
 
@@ -198,6 +214,11 @@ def dense_lan_scenario(
         keeps the paper's saturated sources.
     name:
         Scenario label; defaults to ``dense-lan-<n_stations>``.
+    channel_draws:
+        Suggested draw contract for the network construction; the
+        500-station tier passes ``"grouped"`` (the v3 scalars-first
+        contract) because the v2 per-pair draw order dominates its
+        124750-pair build.
     """
     if n_pairs < 1:
         raise ConfigurationError("a dense LAN needs at least one pair")
@@ -230,6 +251,7 @@ def dense_lan_scenario(
         pairs,
         testbed_factory=partial(dense_testbed, n_locations=n_locations, seed=seed),
         packet_rate_pps=packet_rate_pps,
+        channel_draws=channel_draws,
     )
 
 
@@ -306,4 +328,22 @@ register_scenario(
     "dense-lan-200-bursty",
     partial(dense_lan_scenario, n_pairs=100, seed=200, packet_rate_pps=150.0,
             name="dense-lan-200-bursty"),
+)
+# The 500-station backbone tier: 124750 channel pairs per placement.
+# In the spirit of LINC's argument that loss/scale pathologies only
+# surface at backbone-scale workloads, this tier exists to exercise the
+# grouped (v3) draw contract -- at this density the v2 per-pair rng
+# calls dominate construction, so the scenario declares
+# channel_draws="grouped" (scalars-first draws, ChannelBank views,
+# batched estimation prefetch).  As with the 100/200 tier, the
+# saturated variant is contention-collapsed by design; the bursty
+# variant is the meaningful workload.
+register_scenario(
+    "dense-lan-500",
+    partial(dense_lan_scenario, n_pairs=250, seed=500, channel_draws="grouped"),
+)
+register_scenario(
+    "dense-lan-500-bursty",
+    partial(dense_lan_scenario, n_pairs=250, seed=500, packet_rate_pps=150.0,
+            name="dense-lan-500-bursty", channel_draws="grouped"),
 )

@@ -76,11 +76,18 @@ __all__ = [
 ]
 
 #: Bump when the simulation's numeric behaviour changes in a way that
-#: should invalidate previously cached sweep results.
+#: should invalidate previously cached sweep results.  The version is
+#: part of every cell key, so cells written under an older schema are
+#: *missed* (and recomputed), never replayed.
 #: 2: channel estimates are measured once per simulation (static-channel
 #:    invariant) instead of re-drawn on every planning query, which
 #:    changes every simulated metric for a given seed.
-CACHE_SCHEMA_VERSION = 2
+#: 3: the grouped (v3) channel-draw contract landed -- scalars-first
+#:    construction draws, shape-grouped estimation-noise prefetch -- and
+#:    ``channel_draws`` joined both the scenario and the config digests,
+#:    so a v2 cell can never be replayed for a sweep that selects a
+#:    different contract.
+CACHE_SCHEMA_VERSION = 3
 
 
 def config_digest(config: SimulationConfig) -> str:
@@ -132,6 +139,11 @@ def scenario_digest(scenario: Scenario) -> str:
                 for p in scenario.pairs
             ],
             "packet_rate_pps": scenario.packet_rate_pps,
+            # The scenario's channel-draw contract hint changes every
+            # seeded channel (see repro.sim.network.Network), so it is
+            # part of the structure -- editing a scenario from "batched"
+            # to "grouped" must miss the cache, not replay v2 cells.
+            "channel_draws": scenario.channel_draws,
             "testbed": {
                 "locations": [list(xy) for xy in testbed.locations],
                 "tx_power_dbm": testbed.tx_power_dbm,

@@ -1,0 +1,178 @@
+"""Tests for the ChannelBank storage and the batched estimate prefetch.
+
+The load-bearing guarantees:
+
+* reciprocal channel directions are read-only *transposed views* of the
+  forward direction's memory (no copies) -- and mutating any returned
+  channel raises, which is what guards the shared-view invariant;
+* the ``(tx, rx) -> (group, slot, transposed)`` index is consistent with
+  the stacked per-group tensors, on every draw contract;
+* ``HardwareProfile.perturb_channel_batch`` is bit-identical to the
+  equivalent sequence of per-channel ``perturb_channel`` calls;
+* ``Network.prefetch_estimates`` fills the estimate memo in stacked
+  draws under the grouped contract and is a strict no-op under the v2
+  contracts (their lazy draw order is part of v2 reproducibility).
+"""
+
+import numpy as np
+import pytest
+
+from repro.channel.hardware import HardwareProfile
+from repro.exceptions import DimensionError
+from repro.sim.network import ChannelBank, Network
+from repro.sim.runner import SimulationConfig, run_simulation
+from repro.sim.scenarios import custom_pairs_scenario, three_pair_scenario
+
+ALL_CONTRACTS = ("grouped", "batched", "per-pair")
+
+
+def _network(mode, seed=3, antenna_counts=(1, 2, 3, 2)):
+    scenario = custom_pairs_scenario(list(antenna_counts))
+    return Network(
+        scenario.stations,
+        scenario.pairs,
+        np.random.default_rng(seed),
+        n_subcarriers=8,
+        channel_draws=mode,
+    )
+
+
+class TestSharedViewInvariant:
+    @pytest.mark.parametrize("mode", ALL_CONTRACTS)
+    def test_reciprocal_is_a_transposed_view_not_a_copy(self, mode):
+        network = _network(mode)
+        forward = network.true_channel(0, 3)
+        reverse = network.true_channel(3, 0)
+        assert np.array_equal(reverse, forward.transpose(0, 2, 1))
+        assert np.shares_memory(forward, reverse)
+
+    @pytest.mark.parametrize("mode", ALL_CONTRACTS)
+    def test_mutating_a_returned_channel_raises(self, mode):
+        """The regression test of the shared-view invariant: a consumer
+        writing into a channel would silently corrupt the reciprocal
+        direction (same memory), so the bank refuses the write."""
+        network = _network(mode)
+        forward = network.true_channel(0, 3)
+        reverse = network.true_channel(3, 0)
+        for channel in (forward, reverse):
+            assert not channel.flags.writeable
+            with pytest.raises(ValueError):
+                channel[0, 0, 0] = 1.0 + 0.0j
+
+    def test_estimated_channels_are_read_only_too(self):
+        network = _network("grouped")
+        network.reseed_estimation_noise(1)
+        estimate = network.estimated_channel(0, 1)
+        with pytest.raises(ValueError):
+            estimate[0, 0, 0] = 0.0
+
+
+class TestChannelBankIndex:
+    @pytest.mark.parametrize("mode", ALL_CONTRACTS)
+    def test_lookup_is_consistent_with_the_stacks(self, mode):
+        network = _network(mode)
+        bank = network.channels
+        for a, b in bank.pairs():
+            group, slot, transposed = bank.lookup(a, b)
+            assert not transposed
+            group_r, slot_r, transposed_r = bank.lookup(b, a)
+            assert (group_r, slot_r, transposed_r) == (group, slot, True)
+            stack = bank._stacks[group]
+            assert np.array_equal(bank.channel(a, b), stack[slot])
+            assert bank.snr_db(a, b) == bank.snr_db(b, a)
+
+    def test_one_group_per_antenna_shape(self):
+        network = _network("grouped", antenna_counts=(1, 2, 3, 2, 1))
+        bank = network.channels
+        shapes = set()
+        for a, b in bank.pairs():
+            shape = bank.channel(a, b).shape[1:]  # (N, M)
+            shapes.add((shape[1], shape[0]))  # stored keyed by (n_tx, n_rx)
+        assert bank.n_groups == len(shapes)
+        assert bank.n_pairs == 10 * 9 // 2
+
+    def test_unknown_link_raises_keyerror(self):
+        network = _network("grouped")
+        with pytest.raises(KeyError):
+            network.channels.lookup(0, 999)
+
+    def test_add_group_validates_shapes(self):
+        bank = ChannelBank()
+        with pytest.raises(DimensionError):
+            bank.add_group([(0, 1)], np.zeros((2, 4, 1, 1), dtype=complex), [5.0, 6.0])
+        with pytest.raises(DimensionError):
+            bank.add_group([(0, 1)], np.zeros((1, 4, 1, 1), dtype=complex), [5.0, 6.0])
+
+    def test_nbytes_counts_each_pair_once(self):
+        """Reciprocals are views: the bank holds one tensor slot per
+        unordered pair, not two."""
+        network = _network("grouped", antenna_counts=(2, 2))
+        bank = network.channels
+        per_pair = 8 * 2 * 2 * 16  # n_sub * N * M * complex128
+        assert bank.nbytes == bank.n_pairs * per_pair + bank.n_pairs * 8
+
+
+class TestPerturbChannelBatch:
+    @pytest.mark.parametrize("reciprocity", [False, True])
+    def test_bit_identical_to_sequential_perturbs(self, reciprocity):
+        hardware = HardwareProfile()
+        rng = np.random.default_rng(11)
+        channels = rng.standard_normal((5, 8, 2, 3)) + 1j * rng.standard_normal((5, 8, 2, 3))
+        rng_batch = np.random.default_rng(99)
+        rng_seq = np.random.default_rng(99)
+        batch = hardware.perturb_channel_batch(channels, rng_batch, reciprocity=reciprocity)
+        for index in range(channels.shape[0]):
+            expected = hardware.perturb_channel(
+                channels[index], rng_seq, reciprocity=reciprocity
+            )
+            assert np.array_equal(batch[index], expected)
+        assert rng_batch.bit_generator.state == rng_seq.bit_generator.state
+
+    def test_rejects_unstacked_input(self):
+        with pytest.raises(ValueError):
+            HardwareProfile().perturb_channel_batch(
+                np.zeros(4, dtype=complex), np.random.default_rng(0)
+            )
+
+
+class TestPrefetchEstimates:
+    def test_noop_under_v2_contracts(self):
+        for mode in ("batched", "per-pair"):
+            network = _network(mode)
+            network.reseed_estimation_noise(5)
+            state_before = network._estimation_rng.bit_generator.state
+            network.prefetch_estimates([(0, 1, False), (0, 3, True)])
+            assert network._estimate_memo == {}
+            assert network._estimation_rng.bit_generator.state == state_before
+
+    def test_fills_the_memo_under_grouped(self):
+        network = _network("grouped")
+        network.reseed_estimation_noise(5)
+        network.prefetch_estimates([(0, 1, False), (0, 3, True), (0, 1, False)])
+        assert set(network._estimate_memo) == {(0, 1, False), (0, 3, True)}
+        # Later per-link queries hit the memo (same object, no new draws).
+        prefetched = network._estimate_memo[(0, 1, False)]
+        state = network._estimation_rng.bit_generator.state
+        assert network.estimated_channel(0, 1) is prefetched
+        assert network._estimation_rng.bit_generator.state == state
+
+    def test_prefetched_estimates_are_perturbed_channels(self):
+        """A prefetched estimate is close to (but not exactly) the true
+        channel, like any lazy estimate."""
+        network = _network("grouped")
+        network.reseed_estimation_noise(5)
+        network.prefetch_estimates([(0, 1, False)])
+        estimate = network.estimated_channel(0, 1)
+        true = network.true_channel(0, 1)
+        error = np.linalg.norm(estimate - true) / np.linalg.norm(true)
+        assert 0.0 < error < 0.1
+
+    def test_grouped_simulation_is_deterministic(self):
+        """The prefetch path is part of the seeded v3 contract: repeated
+        runs produce bit-identical metrics."""
+        config = SimulationConfig(
+            duration_us=10_000.0, n_subcarriers=8, channel_draws="grouped"
+        )
+        first = run_simulation(three_pair_scenario(), "n+", seed=13, config=config)
+        second = run_simulation(three_pair_scenario(), "n+", seed=13, config=config)
+        assert first.to_dict() == second.to_dict()

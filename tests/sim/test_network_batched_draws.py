@@ -39,10 +39,13 @@ def _build_both(scenario, seed, **kwargs):
 
 
 def _assert_identical(batched, reference, rng_batched, rng_reference):
-    assert batched._link_snrs == reference._link_snrs
-    assert set(batched._channels) == set(reference._channels)
-    for key in reference._channels:
-        assert np.array_equal(batched._channels[key], reference._channels[key]), key
+    assert set(batched.channels.pairs()) == set(reference.channels.pairs())
+    for a, b in reference.channels.pairs():
+        for tx, rx in ((a, b), (b, a)):
+            assert batched.link_snr_db(tx, rx) == reference.link_snr_db(tx, rx)
+            assert np.array_equal(
+                batched.true_channel(tx, rx), reference.true_channel(tx, rx)
+            ), (tx, rx)
     # Both paths consumed exactly the same random numbers, so everything
     # drawn afterwards (estimation noise fallback, MAC draws) agrees too.
     assert rng_batched.bit_generator.state == rng_reference.bit_generator.state
@@ -88,10 +91,10 @@ class TestBatchedDrawsBitIdentical:
         assert on_batched.to_dict() == on_reference.to_dict()
 
     def test_empty_network_still_builds(self):
-        """No stations -> no pairs, on both draw paths."""
-        for mode in ("batched", "per-pair"):
+        """No stations -> no pairs, on every draw path."""
+        for mode in ("batched", "per-pair", "grouped"):
             network = Network([], [], np.random.default_rng(0), channel_draws=mode)
-            assert network._channels == {} and network._link_snrs == {}
+            assert network.channels.n_pairs == 0 and network.channels.n_groups == 0
 
     def test_unknown_draw_mode_rejected(self):
         scenario = three_pair_scenario()

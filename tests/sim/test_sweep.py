@@ -423,3 +423,66 @@ class TestDenseScenarios:
 
         with pytest.raises(ConfigurationError):
             PoissonSource(0, 1, rate_packets_per_second=0.0, rng=np.random.default_rng(0))
+
+
+class TestSchemaBoundary:
+    """The CACHE_SCHEMA_VERSION 3 bump (grouped draw contract).
+
+    Cells written under an older schema must be *missed* -- recomputed
+    under the current semantics -- never replayed; and ``channel_draws``
+    must be part of both the scenario and the config digests, because
+    selecting a different draw contract changes every seeded channel.
+    """
+
+    def test_v2_cached_cells_are_missed_after_the_v3_bump(self, tmp_path, monkeypatch):
+        import repro.sim.sweep as sweep_module
+
+        assert sweep_module.CACHE_SCHEMA_VERSION == 3
+
+        # Populate the cache as a v2 writer would have keyed it.
+        monkeypatch.setattr(sweep_module, "CACHE_SCHEMA_VERSION", 2)
+        old = run_sweep(
+            "three-pair", ["n+"], n_runs=2, seed=4, config=FAST, cache_dir=tmp_path
+        )
+        assert old.cache_misses == 2 and len(SweepCache(tmp_path)) == 2
+
+        # Back on the real schema: every v2 cell is a miss, not a replay.
+        monkeypatch.undo()
+        assert sweep_module.CACHE_SCHEMA_VERSION == 3
+        bumped = run_sweep(
+            "three-pair", ["n+"], n_runs=2, seed=4, config=FAST, cache_dir=tmp_path
+        )
+        assert bumped.cache_hits == 0 and bumped.cache_misses == 2
+        # The recomputed cells are correct (identical to an uncached sweep)
+        # and were re-stored under the v3 keys next to the stale v2 files.
+        fresh = run_sweep("three-pair", ["n+"], n_runs=2, seed=4, config=FAST)
+        assert _as_dicts(bumped.results) == _as_dicts(fresh.results)
+        assert len(SweepCache(tmp_path)) == 4
+
+    def test_cell_keys_differ_across_schema_versions(self, tmp_path, monkeypatch):
+        import repro.sim.sweep as sweep_module
+
+        cache = SweepCache(tmp_path)
+        v3_key = cache.cell_key("three-pair", "n+", 4, FAST)
+        monkeypatch.setattr(sweep_module, "CACHE_SCHEMA_VERSION", 2)
+        v2_key = cache.cell_key("three-pair", "n+", 4, FAST)
+        assert v3_key != v2_key
+
+    def test_scenario_digest_covers_channel_draws(self):
+        import dataclasses as dc
+
+        base = dense_lan_scenario(n_pairs=2, seed=1)
+        assert base.channel_draws is None
+        grouped = dc.replace(base, channel_draws="grouped")
+        assert scenario_digest(base) != scenario_digest(grouped)
+        # The factory's channel_draws parameter feeds the same field.
+        assert scenario_digest(
+            dense_lan_scenario(n_pairs=2, seed=1, channel_draws="grouped")
+        ) == scenario_digest(grouped)
+
+    def test_config_digest_covers_channel_draws(self):
+        base = config_digest(FAST)
+        grouped = config_digest(
+            SimulationConfig(duration_us=10_000.0, n_subcarriers=8, channel_draws="grouped")
+        )
+        assert grouped != base
