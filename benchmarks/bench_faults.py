@@ -1,0 +1,86 @@
+"""Fault-injection benchmarks: faulted rounds and the update kernels.
+
+``bench_faulted_rounds`` times a full faulted simulation (the ``mixed``
+profile on ``dense-lan-20-faulty``): episode application, epoch
+bumping, the epoch-keyed caches and the loss draws all on the hot path.
+``bench_no_fault_overhead`` times the *same* scenario with faults
+disabled on the same pre-built network -- the pair bounds what the
+fault layer costs when it fires and documents that the no-fault path
+carries none of it.  ``bench_channel_bank_update`` isolates the O(slots)
+in-place kernels (:meth:`~repro.sim.network.ChannelBank.scale_links` /
+:meth:`~repro.sim.network.ChannelBank.update_links`) on a 100-station
+bank, the operation every fade edge performs.
+
+Tracked in ``BENCH_core.json``; run ``python benchmarks/run_all.py
+--compare`` to gate regressions.
+"""
+
+from __future__ import annotations
+
+from repro.sim.runner import SimulationConfig, build_network, run_simulation
+from repro.sim.scenarios import scenario_factory
+
+_CONFIG = SimulationConfig(duration_us=50_000.0, n_subcarriers=8)
+_NO_FAULT_CONFIG = SimulationConfig(
+    duration_us=50_000.0, n_subcarriers=8, fault_profile="none"
+)
+_SEED = 7
+
+_state: dict = {}
+
+
+def _setup():
+    """Build (once) the faulty scenario and its network."""
+    if not _state:
+        scenario = scenario_factory("dense-lan-20-faulty")()
+        network = build_network(scenario, _SEED, _CONFIG)
+        _state["pair"] = (scenario, network)
+    return _state["pair"]
+
+
+def bench_faulted_rounds(benchmark):
+    """Mixed fades/losses/churn on a 20-station LAN, 50 ms window."""
+    scenario, network = _setup()
+    metrics = benchmark(
+        lambda: run_simulation(
+            scenario, "n+", seed=_SEED, config=_CONFIG, network=network
+        )
+    )
+    assert metrics.elapsed_us > 0
+    assert metrics.total_throughput_mbps() > 0.0
+
+
+def bench_no_fault_overhead(benchmark):
+    """The same scenario with faults off: the strict no-op baseline."""
+    scenario, network = _setup()
+    metrics = benchmark(
+        lambda: run_simulation(
+            scenario, "n+", seed=_SEED, config=_NO_FAULT_CONFIG, network=network
+        )
+    )
+    assert metrics.elapsed_us > 0
+
+
+def bench_channel_bank_update(benchmark):
+    """One fade edge's worth of kernel work on a 100-station bank.
+
+    Snapshots, scales and restores 10 links in place -- the exact
+    sequence a fade start + end performs -- leaving the bank bit-
+    identical, so iterations are independent.
+    """
+    scenario = scenario_factory("dense-lan-100")()
+    network = build_network(scenario, _SEED, _CONFIG)
+    bank = network.channels
+    links = [
+        (pair.transmitter.node_id, pair.receivers[0].node_id)
+        for pair in scenario.pairs[:10]
+    ]
+
+    def fade_and_restore():
+        snapshots = bank.snapshot_links(links)
+        bank.scale_links(links, 10.0 ** (-20.0 / 20.0), snr_delta_db=-20.0)
+        bank.update_links(
+            [(tx, rx, resp, snr) for (tx, rx), (resp, snr) in zip(links, snapshots)]
+        )
+
+    benchmark(fade_and_restore)

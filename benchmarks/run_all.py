@@ -44,6 +44,7 @@ TRACKED_FILES = [
     "benchmarks/bench_core_primitives.py",
     "benchmarks/bench_dense_rounds.py",
     "benchmarks/bench_build_network.py",
+    "benchmarks/bench_faults.py",
 ]
 
 #: Entries skipped by ``--quick``: the 500-station tier and the kept

@@ -66,6 +66,8 @@ def _simulation_config(args: argparse.Namespace) -> SimulationConfig:
         n_subcarriers=args.subcarriers,
         packet_rate_pps=args.packet_rate_pps,
         channel_draws=args.channel_draws,
+        fault_profile=args.fault_profile,
+        fault_trace=args.fault_trace,
     )
 
 
@@ -120,9 +122,14 @@ def _run_scenarios(args: argparse.Namespace) -> None:
                 str(len(scenario.pairs)),
                 str(scenario.max_antennas),
                 traffic,
+                scenario.fault_profile or "-",
             ]
         )
-    print(format_table(["scenario", "stations", "pairs", "max antennas", "traffic"], rows))
+    print(
+        format_table(
+            ["scenario", "stations", "pairs", "max antennas", "traffic", "faults"], rows
+        )
+    )
 
 
 def _run_sweep(args: argparse.Namespace) -> None:
@@ -140,12 +147,18 @@ def _run_sweep(args: argparse.Namespace) -> None:
         config=_simulation_config(args),
         workers=args.workers,
         cache_dir=args.cache_dir,
+        strict=args.strict,
     )
     elapsed = time.time() - start
     rows = []
     for protocol in protocols:
         totals = result.totals_mbps(protocol)
-        fairness = [m.fairness_index() for m in result.results[protocol]]
+        fairness = [
+            m.fairness_index() for m in result.results[protocol] if m is not None
+        ]
+        if not totals:
+            rows.append([protocol, "-", "-", "-", "-"])
+            continue
         rows.append(
             [
                 protocol,
@@ -160,6 +173,11 @@ def _run_sweep(args: argparse.Namespace) -> None:
         f"\n{result.cache_hits} cell(s) from cache, {result.cache_misses} simulated "
         f"on {result.workers} worker(s) in {elapsed:.1f} s"
     )
+    for failure in result.failures:
+        print(
+            f"FAILED cell: protocol={failure.protocol} run={failure.run} "
+            f"seed={failure.run_seed}: {failure.error}"
+        )
 
 
 def _run_all(args: argparse.Namespace) -> None:
@@ -240,6 +258,24 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="channel-draw contract for network construction (default: the "
         "scenario's hint, else 'batched'; dense-lan-500 declares 'grouped')",
+    )
+    parser.add_argument(
+        "--fault-profile",
+        default=None,
+        help="fault-injection profile for simulation runs (see repro.sim.faults; "
+        "'none' disables a faulty scenario's built-in profile)",
+    )
+    parser.add_argument(
+        "--fault-trace",
+        default=None,
+        help="JSON or CSV trace of loss episodes to replay (start_us, duration_us, "
+        "loss_rate[, tx_id, rx_id]); combined with --fault-profile if both given",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="for the 'sweep' command: re-raise the first cell failure instead of "
+        "recording it and continuing",
     )
     parser.add_argument(
         "--quick", action="store_true", help="shrink every experiment (used with 'all')"

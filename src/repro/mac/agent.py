@@ -271,13 +271,24 @@ class BaseMacAgent:
 
         Pure given the contention configuration (static channels, memoized
         estimates, no generator involved), so the result is memoized by
-        the structural signatures of the planned and concurrent streams.
+        the structural signatures of the planned and concurrent streams
+        plus the channel-epoch signature of every involved node (``()``
+        in a static network; a fade bumping any involved link changes
+        the signature and so retires exactly the affected entries).
         """
+        involved = {self.node_id, receiver_id}
+        for stream in planned:
+            involved.add(stream.transmitter_id)
+            involved.add(stream.receiver_id)
+        for stream in concurrent:
+            involved.add(stream.transmitter_id)
+            involved.add(stream.receiver_id)
         key = (
             "measured-snrs",
             receiver_id,
             stream_signature(planned),
             stream_signature(concurrent),
+            self.network.epoch_signature(involved),
         )
         return self._cached(
             key, lambda: self._measured_snrs_fresh(receiver_id, planned, concurrent)
@@ -353,7 +364,7 @@ class BaseMacAgent:
             self.contender.record_success()
             acknowledged = attempted_bits
         else:
-            queue.fail()
+            queue.fail(attempted_bits)
             self.contender.record_collision()
             acknowledged = 0
         if self._traffic_listener is not None:

@@ -109,10 +109,13 @@ class BeamformingMac(BaseMacAgent):
             except PrecodingError:
                 return None
 
+        involved = {self.node_id}
+        involved.update(r.receiver_id for r in receivers)
         key = (
             "initial-plan",
             self.node_id,
             tuple((r.receiver_id, r.n_streams) for r in receivers),
+            self.network.epoch_signature(involved),
         )
         plan = self._cached(key, _compute)
         if plan is None:

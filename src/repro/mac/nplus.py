@@ -224,7 +224,22 @@ class NPlusMac(BeamformingMac):
         backlogged = tuple(
             r.node_id for r in self.pair.receivers if self.queues[r.node_id].has_traffic
         )
-        key = ("join-plan", self.node_id, stream_signature(medium.active_streams), backlogged)
+        # Epoch signature over every node whose channel the join plan can
+        # read: the joiner, the active streams' endpoints (protected
+        # receivers) and its own receivers.  () in a static network.
+        involved = {self.node_id}
+        for stream in medium.active_streams:
+            involved.add(stream.transmitter_id)
+            involved.add(stream.receiver_id)
+        for receiver in self.pair.receivers:
+            involved.add(receiver.node_id)
+        key = (
+            "join-plan",
+            self.node_id,
+            stream_signature(medium.active_streams),
+            backlogged,
+            self.network.epoch_signature(involved),
+        )
         core = self._cached(key, lambda: self._join_plan_core(medium))
         if core is None:
             return None

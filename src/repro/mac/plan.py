@@ -81,8 +81,15 @@ class PlanCache:
     occurrence of each configuration the dominant per-round SVD work
     becomes a dictionary hit.
 
-    Entries are never invalidated within a run: there is nothing to
-    invalidate on, precisely because the channels are static.  The cache
+    Entries are never *evicted* within a run.  In a static network there
+    is nothing to invalidate on; under fault injection
+    (:mod:`repro.sim.faults`) the callers append the network's per-link
+    **epoch signature**
+    (:meth:`repro.sim.network.Network.epoch_signature`) to their keys,
+    so an entry built before a link's channel changed simply stops being
+    hit -- a fade invalidates exactly the entries that could have read
+    the faded link, and the signature is ``()`` (key shape unchanged,
+    zero cost) until a fault actually occurs.  The cache
     must not be shared across simulations (the runner creates one per
     :func:`repro.sim.runner.run_simulation`).  Cached arrays are shared
     by reference, so callers must treat them as read-only -- the same

@@ -38,6 +38,7 @@ class RetransmissionQueue:
     max_retries: int = MAX_RETRIES
     _pending: List[_PendingPacket] = field(default_factory=list)
     dropped_packets: int = 0
+    dropped_bits: int = 0
     delivered_packets: int = 0
     delivered_bits: int = 0
 
@@ -84,7 +85,12 @@ class RetransmissionQueue:
     def acknowledge(self, delivered_bits: int) -> int:
         """Mark ``delivered_bits`` (FIFO order) as acknowledged.
 
-        Returns the number of whole packets completed and removed.
+        Returns the number of whole packets completed and removed.  A
+        partially-acknowledged head packet has made forward progress, so
+        its retry count resets: retries only accumulate across attempts
+        that delivered *nothing* of the packet, which is what keeps a
+        slow-but-working link from spuriously dropping packets at the
+        retry cap.
         """
         completed = 0
         remaining = delivered_bits
@@ -98,15 +104,43 @@ class RetransmissionQueue:
                 self._pending.pop(0)
                 self.delivered_packets += 1
                 completed += 1
+            else:
+                head.packet.retries = 0
         return completed
 
-    def fail(self) -> None:
-        """Record a failed attempt for the head packet; drop it after too
-        many retries."""
+    def fail(self, attempted_bits: Optional[int] = None) -> None:
+        """Record a failed attempt; drop packets past the retry cap.
+
+        ``attempted_bits`` is the size of the failed transmission (what
+        :meth:`take_bits` reserved).  Every packet the attempt spanned is
+        aged, so aggregated attempts cannot park all blame on the head
+        packet while the rest of the FIFO stays forever young -- on a
+        permanently faded link that would grow the pending queue without
+        bound.  Packets past ``max_retries`` are dropped, with their
+        unacknowledged bits counted in ``dropped_bits``.  ``None`` ages
+        the head packet only (the pre-aggregation behaviour, kept for
+        callers that fail one packet at a time).
+        """
         if not self._pending:
             return
-        head = self._pending[0]
-        head.packet.retries += 1
-        if head.packet.retries > self.max_retries:
-            self._pending.pop(0)
-            self.dropped_packets += 1
+        if attempted_bits is None:
+            span = 1
+        else:
+            span = 0
+            covered = 0
+            for pending in self._pending:
+                if covered >= attempted_bits:
+                    break
+                covered += pending.remaining_bits
+                span += 1
+            span = max(span, 1)
+        for pending in self._pending[:span]:
+            pending.packet.retries += 1
+        survivors = []
+        for index, pending in enumerate(self._pending):
+            if index < span and pending.packet.retries > self.max_retries:
+                self.dropped_packets += 1
+                self.dropped_bits += pending.remaining_bits
+            else:
+                survivors.append(pending)
+        self._pending = survivors

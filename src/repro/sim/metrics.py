@@ -34,6 +34,11 @@ class LinkMetrics:
         Time this pair spent transmitting data bodies.
     transmissions, joins, collisions:
         Protocol-level event counts.
+    packets_dropped:
+        Packets abandoned at the retry cap (see
+        :meth:`repro.mac.retransmission.RetransmissionQueue.fail`).  The
+        default of 0 keeps :meth:`from_dict` compatible with cache
+        entries written before the counter existed.
     """
 
     pair_name: str
@@ -45,6 +50,7 @@ class LinkMetrics:
     transmissions: int = 0
     joins: int = 0
     collisions: int = 0
+    packets_dropped: int = 0
 
     def throughput_mbps(self, elapsed_us: float) -> float:
         """Delivered throughput over an observation window."""

@@ -148,6 +148,100 @@ class ChannelBank:
         tx_id, rx_id = link
         return (tx_id, rx_id) in self._index or (rx_id, tx_id) in self._index
 
+    # -- in-place update kernels -----------------------------------------------
+
+    def _writable_group(self, group: int):
+        """Context values for an in-place write to one group's arrays.
+
+        The stacks stay read-only to consumers at all times -- views
+        handed out by :meth:`channel` keep the non-writable flag they
+        were created with -- so only these kernels, which re-freeze in a
+        ``finally``, ever write.
+        """
+        return self._stacks[group], self._snrs[group]
+
+    def scale_links(
+        self,
+        links: Sequence[Tuple[int, int]],
+        amplitude_scale: float,
+        snr_delta_db: float = 0.0,
+    ) -> None:
+        """Scale the stored tensors of ``links`` in place, O(affected slots).
+
+        The canonical stored tensor is scaled once per link, which fades
+        both directions at once (the reciprocal is a transposed view of
+        the same memory).  Affected slots are grouped per antenna-shape
+        group and written with one fancy-indexed multiply each -- no
+        group is rebuilt.  ``snr_delta_db`` adjusts the stored link SNRs
+        by the same episode (a fade of depth ``d`` dB passes
+        ``amplitude_scale=10**(-d/20)``, ``snr_delta_db=-d``).
+        """
+        by_group: Dict[int, List[int]] = {}
+        for tx_id, rx_id in links:
+            group, slot, _ = self.lookup(tx_id, rx_id)
+            by_group.setdefault(group, []).append(slot)
+        for group, slots in by_group.items():
+            stack, snrs = self._writable_group(group)
+            stack.setflags(write=True)
+            snrs.setflags(write=True)
+            try:
+                stack[slots] *= amplitude_scale
+                snrs[slots] += snr_delta_db
+            finally:
+                stack.setflags(write=False)
+                snrs.setflags(write=False)
+
+    def update_links(
+        self, updates: Sequence[Tuple[int, int, np.ndarray, float]]
+    ) -> None:
+        """Replace the stored tensor and SNR of each link, in place.
+
+        ``updates`` holds ``(tx_id, rx_id, response, snr_db)`` with the
+        response in ``(tx, rx)`` orientation and the slot's stored shape
+        (transposed automatically when the canonical stored direction is
+        the reciprocal).  Writes are batched per group into one stacked
+        fancy-index assignment -- O(affected slots), never a rebuild --
+        which is what makes restoring (or re-drawing) a faded link cheap
+        even in the 500-station tiers.
+        """
+        grouped: Dict[int, Tuple[List[int], List[np.ndarray], List[float]]] = {}
+        for tx_id, rx_id, response, snr_db in updates:
+            group, slot, transposed = self.lookup(tx_id, rx_id)
+            data = np.asarray(response)
+            if transposed:
+                data = data.transpose(0, 2, 1)
+            stack = self._stacks[group]
+            if data.shape != stack.shape[1:]:
+                raise DimensionError(
+                    f"link ({tx_id}, {rx_id}) update has shape {data.shape}, "
+                    f"stored slots have shape {stack.shape[1:]}"
+                )
+            slots, tensors, snr_values = grouped.setdefault(group, ([], [], []))
+            slots.append(slot)
+            tensors.append(data)
+            snr_values.append(float(snr_db))
+        for group, (slots, tensors, snr_values) in grouped.items():
+            stack, snrs = self._writable_group(group)
+            stack.setflags(write=True)
+            snrs.setflags(write=True)
+            try:
+                stack[slots] = np.stack(tensors)
+                snrs[slots] = snr_values
+            finally:
+                stack.setflags(write=False)
+                snrs.setflags(write=False)
+
+    def snapshot_links(
+        self, links: Sequence[Tuple[int, int]]
+    ) -> List[Tuple[np.ndarray, float]]:
+        """Copies of ``links``' current tensors (in ``(tx, rx)``
+        orientation) and SNRs, suitable for a bit-exact
+        :meth:`update_links` restore later."""
+        return [
+            (self.channel(tx_id, rx_id).copy(), self.snr_db(tx_id, rx_id))
+            for tx_id, rx_id in links
+        ]
+
     def pairs(self) -> List[Tuple[int, int]]:
         """The stored unordered pairs, in (group, slot) order."""
         return list(self._index)
@@ -240,6 +334,10 @@ class Network:
         self._forced_snrs = dict(forced_link_snrs_db or {})
         self._estimation_rng: Optional[np.random.Generator] = None
         self._estimate_memo: Dict[Tuple[int, int, bool], np.ndarray] = {}
+        # Per-link channel epochs (canonical (min, max) pair -> bump
+        # count).  Empty for every link that never changed, so the
+        # static-network fast paths stay allocation-free.
+        self._link_epochs: Dict[Tuple[int, int], int] = {}
 
         self._place_stations()
         self.channels = ChannelBank()
@@ -501,6 +599,88 @@ class Network:
         if tx_id == rx_id:
             raise ConfigurationError("a node has no channel to itself")
         return self.channels.channel(tx_id, rx_id)
+
+    # -- dynamic channels (fault injection) --------------------------------------
+
+    def link_epoch(self, a: int, b: int) -> int:
+        """How many times the channel between two stations has changed.
+
+        0 for every link in a static network -- epochs only exist once
+        :meth:`bump_link_epoch` (via :meth:`fade_link` /
+        :meth:`restore_link`) touches the link.
+        """
+        key = (a, b) if a < b else (b, a)
+        return self._link_epochs.get(key, 0)
+
+    def bump_link_epoch(self, a: int, b: int) -> None:
+        """Record that the channel between two stations changed.
+
+        Increments the link's epoch and evicts exactly that link's
+        entries from the estimate memo (both directions, both
+        reciprocity flavours) -- the rest of the memo stays valid, so a
+        fade on one link never forces the network to re-measure
+        everything.  Plan-cache entries are not evicted here: their keys
+        embed :meth:`epoch_signature`, so entries built against the old
+        epoch simply stop being hit.
+        """
+        key = (a, b) if a < b else (b, a)
+        self._link_epochs[key] = self._link_epochs.get(key, 0) + 1
+        for reciprocity in (False, True):
+            self._estimate_memo.pop((a, b, reciprocity), None)
+            self._estimate_memo.pop((b, a, reciprocity), None)
+
+    def epoch_signature(self, node_ids: Iterable[int]) -> tuple:
+        """The epochs of every bumped link among ``node_ids``, as a
+        hashable cache-key component.
+
+        Returns ``()`` while no link has ever changed (the static case
+        -- a cheap guard on the empty dict), so epoch-keying is free
+        until faults actually occur.  Otherwise a sorted tuple of
+        ``((a, b), epoch)`` for bumped links with both endpoints in the
+        set: a cached plan keyed with this signature is hit only while
+        every channel it could have read is unchanged, which is the
+        exact-invalidation contract the fault layer relies on.
+        """
+        if not self._link_epochs:
+            return ()
+        ids = set(node_ids)
+        return tuple(
+            sorted(
+                (pair, epoch)
+                for pair, epoch in self._link_epochs.items()
+                if pair[0] in ids and pair[1] in ids
+            )
+        )
+
+    def snapshot_link(self, tx_id: int, rx_id: int) -> Tuple[np.ndarray, float]:
+        """A ``(response copy, snr_db)`` snapshot of one directed link,
+        for bit-exact restore via :meth:`restore_link`."""
+        return self.channels.snapshot_links([(tx_id, rx_id)])[0]
+
+    def fade_link(self, tx_id: int, rx_id: int, depth_db: float) -> None:
+        """Apply a deep fade: scale the link's channel down by
+        ``depth_db`` (amplitude ``10**(-depth/20)``) and bump its epoch.
+
+        The stored canonical tensor is scaled in place, so both
+        directions of the pair fade together (reciprocity).
+        """
+        depth = float(depth_db)
+        self.channels.scale_links(
+            [(tx_id, rx_id)], 10.0 ** (-depth / 20.0), snr_delta_db=-depth
+        )
+        self.bump_link_epoch(tx_id, rx_id)
+
+    def restore_link(
+        self, tx_id: int, rx_id: int, response: np.ndarray, snr_db: float
+    ) -> None:
+        """Write a snapshot back (ending a fade) and bump the epoch.
+
+        With the :meth:`snapshot_link` taken before the fade this is
+        bit-exact: an ended fade leaves the channel identical to one
+        that never faded.
+        """
+        self.channels.update_links([(tx_id, rx_id, response, snr_db)])
+        self.bump_link_epoch(tx_id, rx_id)
 
     def reseed_estimation_noise(self, seed) -> None:
         """Give channel-estimation noise its own seeded random stream.

@@ -56,6 +56,7 @@ from repro.mac.csma import resolve_contention
 from repro.mac.plan import PlanCache
 from repro.phy.esnr import packet_delivery_probability
 from repro.sim.engine import EventScheduler
+from repro.sim.faults import FaultInjector, FaultSchedule, fault_profile
 from repro.sim.link_abstraction import receiver_stream_snrs
 from repro.sim.medium import Medium, ScheduledStream
 from repro.sim.metrics import NetworkMetrics
@@ -69,7 +70,9 @@ __all__ = [
     "run_many",
     "simulate_placement",
     "build_network",
+    "build_fault_schedule",
     "effective_channel_draws",
+    "effective_fault_profile",
     "placement_seed",
     "mac_seed",
     "mac_factory",
@@ -165,6 +168,22 @@ class SimulationConfig:
         ``"batched"``.  Unlike ``pipeline``/``plan_cache`` this knob
         changes seeded results, so it is part of the sweep cache key
         (via the config digest).
+    fault_profile:
+        Name of a registered fault profile (:mod:`repro.sim.faults`) to
+        inject -- deep fades, loss episodes, station churn.  ``None``
+        (the default) defers to the scenario's
+        :attr:`~repro.sim.scenarios.Scenario.fault_profile` hint (the
+        ``dense-lan-*-faulty`` variants declare ``"mixed"``); ``"none"``
+        (or ``""``) explicitly disables faults even on such a scenario.
+        Like ``channel_draws`` this changes seeded results and is part
+        of the sweep cache key.
+    fault_trace:
+        Path to a JSON/CSV loss-trace file
+        (:meth:`repro.sim.faults.FaultSchedule.from_trace`) whose
+        episodes are injected in addition to the profile's.  Part of the
+        cache key; the digest records the path, so retracing a file in
+        place requires a fresh cache dir (traces are normally immutable
+        experiment inputs).
     """
 
     duration_us: float = 100_000.0
@@ -175,6 +194,8 @@ class SimulationConfig:
     max_rounds: int = 200_000
     packet_rate_pps: Optional[float] = None
     channel_draws: Optional[str] = None
+    fault_profile: Optional[str] = None
+    fault_trace: Optional[str] = None
 
 
 @dataclass
@@ -213,6 +234,51 @@ def effective_channel_draws(scenario: Scenario, config: SimulationConfig) -> str
     if config.channel_draws is not None:
         return config.channel_draws
     return getattr(scenario, "channel_draws", None) or "batched"
+
+
+def effective_fault_profile(
+    scenario: Scenario, config: SimulationConfig
+) -> Optional[str]:
+    """The fault profile in effect: config beats the scenario hint.
+
+    Mirrors :func:`effective_channel_draws`: an explicit config value
+    wins, with ``"none"``/``""`` meaning "explicitly fault-free" (the
+    only way to run a ``dense-lan-*-faulty`` scenario without its
+    faults); ``None`` everywhere means no faults.
+    """
+    if config.fault_profile is not None:
+        name = config.fault_profile
+        return None if name in ("", "none") else name
+    return getattr(scenario, "fault_profile", None)
+
+
+def build_fault_schedule(
+    scenario: Scenario, config: SimulationConfig, seed
+) -> Optional[FaultSchedule]:
+    """Materialise the run's fault episodes, or ``None`` for none.
+
+    This is *the* definition of how a (scenario, config, seed) triple
+    becomes a fault schedule -- :func:`run_simulation` and the sweep
+    digests both resolve faults here.  Profile episodes are generated
+    from dedicated ``(seed, FAULT_STREAM_TAG, ...)`` streams; trace
+    episodes (``config.fault_trace``) are appended verbatim.  Returns
+    ``None`` when nothing is configured or everything generated empty,
+    so the caller's no-fault path is exactly the pre-fault code.
+    """
+    episodes = []
+    name = effective_fault_profile(scenario, config)
+    if name is not None:
+        profile = fault_profile(name)
+        episodes.extend(
+            FaultSchedule.from_profile(
+                profile, scenario, seed, config.duration_us
+            ).episodes
+        )
+    if config.fault_trace:
+        episodes.extend(FaultSchedule.from_trace(config.fault_trace).episodes)
+    if not episodes:
+        return None
+    return FaultSchedule(episodes)
 
 
 def _build_agents(
@@ -363,6 +429,7 @@ class _EventDrivenLoop:
         network: Network,
         seed: Optional[int] = None,
         plan_cache: Optional[PlanCache] = None,
+        fault_schedule: Optional[FaultSchedule] = None,
     ) -> None:
         self.config = config
         self.rng = rng
@@ -377,12 +444,24 @@ class _EventDrivenLoop:
             self.metrics.link(pair.name)
         self.scheduler = EventScheduler()
         self.rounds = 0
+        # No injector for an empty/absent schedule: every fault hook in
+        # _round() is behind an ``is not None`` check, so the no-fault
+        # execution path is exactly the pre-fault one (strict no-op).
+        self.faults: Optional[FaultInjector] = None
+        if fault_schedule is not None and not fault_schedule.empty:
+            self.faults = FaultInjector(fault_schedule, network, seed)
 
     def run(self) -> NetworkMetrics:
         """Run rounds until the observation window closes."""
         self.scheduler.schedule_at(0.0, self._round)
         while self.scheduler.step():
             pass
+        if self.faults is not None:
+            self.faults.finalize()
+        for agent in self.agents.values():
+            self.metrics.link(agent.name).packets_dropped = sum(
+                queue.dropped_packets for queue in agent.queues.values()
+            )
         self.metrics.elapsed_us = self.scheduler.now_us
         return self.metrics
 
@@ -431,9 +510,24 @@ class _EventDrivenLoop:
         if now >= config.duration_us:
             return  # window over; nothing rescheduled, the queue drains
 
+        faults = self.faults
+        if faults is not None:
+            # Episodes apply at round boundaries: fades/restores mutate
+            # the channels (bumping epochs) and churn updates the
+            # away-set before anyone contends or plans at `now`.
+            faults.advance(now)
+
         contending = self._contending_agents(now)
+        if faults is not None and contending:
+            contending = [a for a in contending if faults.agent_active(a)]
         if not contending:
-            self._schedule_round(self._idle_poll_time(now))
+            wake = self._idle_poll_time(now)
+            if faults is not None:
+                # Never jump an idle gap over a fault boundary: a
+                # returning station (or an ending fade) must be
+                # re-examined the moment it happens.
+                wake = min(wake, faults.next_boundary_us(now))
+            self._schedule_round(wake)
             return
 
         self.rounds += 1
@@ -478,6 +572,8 @@ class _EventDrivenLoop:
             exhausted: set = set()
             while True:
                 eligible = self._join_eligible(sense_start, exhausted)
+                if faults is not None and eligible:
+                    eligible = [a for a in eligible if faults.agent_active(a)]
                 if not eligible:
                     break
                 join_round = resolve_contention([a.contender for a in eligible], rng)
@@ -519,6 +615,19 @@ class _EventDrivenLoop:
         all_streams = medium.active_streams
         for group in groups:
             delivered = _evaluate_group(self.network, group, all_streams, rng)
+            if faults is not None and delivered:
+                # Loss episodes overlapping the group's body interval
+                # lose the packet with their combined rate.  The coin
+                # comes from the dedicated delivery stream and is only
+                # flipped when an episode actually overlaps, so runs
+                # without overlap consume no fault randomness.
+                body_start = min(s.start_us for s in group.streams)
+                body_end = max(s.end_us for s in group.streams)
+                rate = faults.loss_rate(
+                    group.agent.node_id, group.receiver_id, body_start, body_end
+                )
+                if rate > 0.0 and faults.draw_loss(rate):
+                    delivered = False
             agent = group.agent
             link = metrics.link(agent.name)
             link.attempted_bits += group.payload_bits
@@ -561,8 +670,11 @@ class _BatchedEventDrivenLoop(_EventDrivenLoop):
         network: Network,
         seed: Optional[int] = None,
         plan_cache: Optional[PlanCache] = None,
+        fault_schedule: Optional[FaultSchedule] = None,
     ) -> None:
-        super().__init__(scenario, protocol, rng, config, network, seed, plan_cache)
+        super().__init__(
+            scenario, protocol, rng, config, network, seed, plan_cache, fault_schedule
+        )
         self.arrays = TrafficStateArrays(self.agents.values())
         # The vectorized join mask encodes the n+ eligibility rule; fall
         # back to per-agent ``can_join`` for any joining protocol that has
@@ -640,6 +752,7 @@ def run_simulation(
     network: Optional[Network] = None,
     pipeline: str = "batched",
     plan_cache: bool = True,
+    fault_schedule: Optional[FaultSchedule] = None,
 ) -> NetworkMetrics:
     """Simulate one run of ``protocol`` on ``scenario``.
 
@@ -685,6 +798,14 @@ def run_simulation(
         produce bit-identical metrics (the test suite asserts it) --
         like ``pipeline``, this knob is deliberately not part of the
         sweep cache key.
+    fault_schedule:
+        An explicit :class:`~repro.sim.faults.FaultSchedule` to inject,
+        overriding whatever :func:`build_fault_schedule` would resolve
+        from the scenario/config (mainly a test hook).  ``None`` (the
+        default) resolves the schedule from ``config.fault_profile`` /
+        ``config.fault_trace`` / the scenario hint; an *empty* schedule
+        -- explicit or resolved -- is a strict no-op, bit-identical to
+        a fault-free run.
     """
     config = config or SimulationConfig()
     try:
@@ -693,6 +814,8 @@ def run_simulation(
         raise ConfigurationError(
             f"unknown pipeline {pipeline!r}; choose from {sorted(_PIPELINES)}"
         ) from None
+    if fault_schedule is None:
+        fault_schedule = build_fault_schedule(scenario, config, seed)
     rng = np.random.default_rng(seed)
     if network is None:
         network = Network(
@@ -712,6 +835,7 @@ def run_simulation(
         network,
         seed=seed,
         plan_cache=PlanCache() if plan_cache else None,
+        fault_schedule=fault_schedule,
     )
     return loop.run()
 
@@ -730,8 +854,17 @@ def _run_simulation_condensed_reference(
     suite asserts this for saturated and bursty traffic.  Unlike the
     event-driven loop this one pays one iteration per 9 us slot of idle
     airtime, which is why it was replaced.
+
+    Fault injection is an event-driven-only feature: this loop has no
+    event boundaries to apply episodes at, so it refuses fault-enabled
+    configurations instead of silently ignoring them.
     """
     config = config or SimulationConfig()
+    if build_fault_schedule(scenario, config, seed) is not None:
+        raise ConfigurationError(
+            "the condensed reference loop does not support fault injection; "
+            "use run_simulation (or disable faults with fault_profile='none')"
+        )
     rng = np.random.default_rng(seed)
     if network is None:
         network = Network(
@@ -858,6 +991,10 @@ def _run_simulation_condensed_reference(
         medium.clear()
         now = max(end_of_round, now + SLOT_TIME_US)
 
+    for agent in agents.values():
+        metrics.link(agent.name).packets_dropped = sum(
+            queue.dropped_packets for queue in agent.queues.values()
+        )
     metrics.elapsed_us = now
     return metrics
 

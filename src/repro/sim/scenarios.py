@@ -80,6 +80,16 @@ class Scenario:
         overrides this hint.  The hint is part of
         :func:`repro.sim.sweep.scenario_digest` because it changes every
         seeded channel.
+    fault_profile:
+        Optional suggested fault profile (:mod:`repro.sim.faults`): the
+        name of a registered :class:`~repro.sim.faults.FaultProfile`
+        whose episodes -- deep fades, loss bursts, station churn -- are
+        injected into every run.  ``None`` means a static network.  A
+        config with an explicit
+        :attr:`~repro.sim.runner.SimulationConfig.fault_profile`
+        overrides this hint (``"none"`` disables).  Part of
+        :func:`repro.sim.sweep.scenario_digest` (resolved parameters,
+        not just the name) because faults change seeded results.
     """
 
     name: str
@@ -88,6 +98,7 @@ class Scenario:
     testbed_factory: Optional[Callable[[], "Testbed"]] = None
     packet_rate_pps: Optional[float] = None
     channel_draws: Optional[str] = None
+    fault_profile: Optional[str] = None
 
     def station_by_name(self, name: str) -> Station:
         """Look up a station by its label."""
@@ -184,6 +195,7 @@ def dense_lan_scenario(
     packet_rate_pps: Optional[float] = None,
     name: Optional[str] = None,
     channel_draws: Optional[str] = None,
+    fault_profile: Optional[str] = None,
 ) -> Scenario:
     """A dense LAN: many contending pairs with a heterogeneous antenna mix.
 
@@ -219,6 +231,10 @@ def dense_lan_scenario(
         500-station tier passes ``"grouped"`` (the v3 scalars-first
         contract) because the v2 per-pair draw order dominates its
         124750-pair build.
+    fault_profile:
+        Suggested fault profile for the ``*-faulty`` variants: the name
+        of a registered :class:`~repro.sim.faults.FaultProfile` injected
+        into every run (config override wins; ``"none"`` disables).
     """
     if n_pairs < 1:
         raise ConfigurationError("a dense LAN needs at least one pair")
@@ -252,6 +268,7 @@ def dense_lan_scenario(
         testbed_factory=partial(dense_testbed, n_locations=n_locations, seed=seed),
         packet_rate_pps=packet_rate_pps,
         channel_draws=channel_draws,
+        fault_profile=fault_profile,
     )
 
 
@@ -346,4 +363,26 @@ register_scenario(
     "dense-lan-500-bursty",
     partial(dense_lan_scenario, n_pairs=250, seed=500, packet_rate_pps=150.0,
             name="dense-lan-500-bursty", channel_draws="grouped"),
+)
+# The faulty variants: the same topologies under the "mixed" fault
+# profile (deep fades + bursty loss episodes + station churn, see
+# repro.sim.faults).  These are the robustness workloads -- the paper's
+# dense heterogeneous-LAN story only matters under disturbance, and
+# LinkGuardian/LINC (PAPERS.md) make episodic loss the first-class
+# object.  Bursty arrivals keep the runs out of the contention-collapse
+# regime so fades, churn gaps and retransmissions all actually occur.
+register_scenario(
+    "dense-lan-20-faulty",
+    partial(dense_lan_scenario, n_pairs=10, seed=20, packet_rate_pps=300.0,
+            name="dense-lan-20-faulty", fault_profile="mixed"),
+)
+register_scenario(
+    "dense-lan-50-faulty",
+    partial(dense_lan_scenario, n_pairs=25, seed=50, packet_rate_pps=200.0,
+            name="dense-lan-50-faulty", fault_profile="mixed"),
+)
+register_scenario(
+    "dense-lan-100-faulty",
+    partial(dense_lan_scenario, n_pairs=50, seed=100, packet_rate_pps=150.0,
+            name="dense-lan-100-faulty", fault_profile="mixed"),
 )

@@ -50,12 +50,14 @@ import hashlib
 import json
 import multiprocessing
 import os
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.channel.testbed import default_testbed
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.sim.faults import fault_profile
 from repro.sim.metrics import NetworkMetrics
 from repro.sim.runner import (
     SimulationConfig,
@@ -67,6 +69,7 @@ from repro.sim.runner import (
 from repro.sim.scenarios import Scenario, scenario_factory
 
 __all__ = [
+    "FailedCell",
     "SweepResult",
     "SweepCache",
     "run_sweep",
@@ -87,7 +90,15 @@ __all__ = [
 #:    ``channel_draws`` joined both the scenario and the config digests,
 #:    so a v2 cell can never be replayed for a sweep that selects a
 #:    different contract.
-CACHE_SCHEMA_VERSION = 3
+#: 4: the fault-injection layer landed (repro.sim.faults): retransmission
+#:    accounting changed at the partial-delivery boundary (span-aging
+#:    fail(), retry reset on forward progress, drop accounting), which
+#:    shifts every seeded metric, and the fault parameters joined both
+#:    digests -- ``fault_profile``/``fault_trace`` via the config, the
+#:    scenario's resolved profile parameters via the scenario digest --
+#:    so a static-network cell can never be replayed for a faulted sweep
+#:    (or vice versa).
+CACHE_SCHEMA_VERSION = 4
 
 
 def config_digest(config: SimulationConfig) -> str:
@@ -144,6 +155,11 @@ def scenario_digest(scenario: Scenario) -> str:
             # part of the structure -- editing a scenario from "batched"
             # to "grouped" must miss the cache, not replay v2 cells.
             "channel_draws": scenario.channel_draws,
+            # The *resolved* fault-profile parameters, not just the name:
+            # retuning a registered profile (or editing a scenario's
+            # profile hint) changes every seeded faulted metric, so it
+            # must miss the cache like any other structural edit.
+            "fault_profile": _scenario_fault_payload(scenario),
             "testbed": {
                 "locations": [list(xy) for xy in testbed.locations],
                 "tx_power_dbm": testbed.tx_power_dbm,
@@ -160,6 +176,18 @@ def scenario_digest(scenario: Scenario) -> str:
         sort_keys=True,
     )
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _scenario_fault_payload(scenario: Scenario) -> Optional[dict]:
+    """The scenario's fault profile, resolved to its parameters.
+
+    ``None`` for a static scenario (keeping pre-fault digests of such
+    scenarios' *structure* dependent only on the other fields).
+    """
+    name = getattr(scenario, "fault_profile", None)
+    if name is None:
+        return None
+    return {"name": name, "params": dataclasses.asdict(fault_profile(name))}
 
 
 def default_workers() -> int:
@@ -223,15 +251,42 @@ class SweepCache:
             return None
 
     def store(self, key: str, metrics: NetworkMetrics, describe: dict) -> None:
-        """Persist one cell atomically; ``describe`` is stored for humans."""
+        """Persist one cell atomically; ``describe`` is stored for humans.
+
+        The entry is written to a pid-suffixed temp file and moved into
+        place with :func:`os.replace` -- atomic on POSIX -- so concurrent
+        sweeps sharing a cache dir and crashed writers can never publish
+        a truncated entry under the final name (a reader sees either the
+        old complete entry or the new complete one).  A write that fails
+        midway removes its temp file before re-raising.
+        """
         path = self._path(key)
         payload = json.dumps({"cell": describe, "metrics": metrics.to_dict()}, indent=1)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(payload)
-        os.replace(tmp, path)
+        try:
+            tmp.write_text(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
 
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*.json"))
+
+
+@dataclass(frozen=True)
+class FailedCell:
+    """One sweep cell that could not be computed (see :func:`run_sweep`).
+
+    Records the cell coordinates and the final exception string after
+    every retry was exhausted, so a long sweep reports *which* cells are
+    missing and why instead of aborting on the first worker crash.
+    """
+
+    protocol: str
+    run: int
+    run_seed: int
+    error: str
 
 
 @dataclass
@@ -242,32 +297,47 @@ class SweepResult:
     ----------
     results:
         ``{protocol: [metrics of run 0, run 1, ...]}`` -- the same shape
-        :func:`repro.sim.runner.run_many` returns.
+        :func:`repro.sim.runner.run_many` returns.  A cell whose
+        computation failed (see ``failures``) is ``None``.
     cache_hits, cache_misses:
         How many cells came from the cache vs were simulated.  A repeated
         invocation with an unchanged grid reports all hits.
     workers:
         Worker processes used for the simulated cells (1 = in-process).
+    failures:
+        The cells that still failed after retries, as
+        :class:`FailedCell` records (empty for a clean sweep; always
+        empty under ``strict=True``, which raises instead).
     """
 
-    results: Dict[str, List[NetworkMetrics]] = field(default_factory=dict)
+    results: Dict[str, List[Optional[NetworkMetrics]]] = field(default_factory=dict)
     cache_hits: int = 0
     cache_misses: int = 0
     workers: int = 1
+    failures: List[FailedCell] = field(default_factory=list)
 
     @property
     def n_runs(self) -> int:
-        """Number of placements per protocol."""
+        """Number of placements per protocol (failed cells included)."""
         return len(next(iter(self.results.values()), []))
 
     def totals_mbps(self, protocol: str) -> List[float]:
-        """Per-run total network throughput of one protocol."""
-        return [m.total_throughput_mbps() for m in self.results[protocol]]
+        """Per-run total network throughput of one protocol.
+
+        Failed cells (``None`` in the grid) are skipped, so aggregates
+        stay computable on a partially-failed sweep.
+        """
+        return [
+            m.total_throughput_mbps() for m in self.results[protocol] if m is not None
+        ]
 
     def link_names(self) -> List[str]:
         """The traffic-pair names of the swept scenario, in metric order."""
-        runs = next(iter(self.results.values()), [])
-        return list(runs[0].links) if runs else []
+        for runs in self.results.values():
+            for metrics in runs:
+                if metrics is not None:
+                    return list(metrics.links)
+        return []
 
 
 def _resolve_scenario(
@@ -324,13 +394,19 @@ def run_sweep(
     workers: Optional[int] = 1,
     cache_dir: Optional[Union[str, Path]] = None,
     scenario_key: Optional[str] = None,
+    strict: bool = False,
+    cell_timeout_s: Optional[float] = None,
+    max_retries: int = 1,
+    retry_backoff_s: float = 0.5,
 ) -> SweepResult:
     """Sweep ``n_runs`` placements x ``protocols``, in parallel and cached.
 
     Byte-identical to :func:`repro.sim.runner.run_many` with the same
     ``(scenario, protocols, n_runs, seed, config)`` -- regardless of
     worker count, cell execution order, or whether cells were replayed
-    from the cache.
+    from the cache.  Retried tasks cannot perturb results either: every
+    cell is a pure function of its seeds, so a retry recomputes the
+    identical metrics.
 
     Parameters
     ----------
@@ -364,11 +440,34 @@ def run_sweep(
     scenario_key:
         Cache key override, required to cache a bare-callable
         ``scenario``.
+    strict:
+        ``False`` (default): a task that still fails after retries is
+        recorded in :attr:`SweepResult.failures` (its grid cells stay
+        ``None``) and the sweep completes -- one pathological placement
+        cannot abort an hours-long sweep.  ``True`` restores
+        raise-on-failure (:class:`~repro.exceptions.SimulationError`).
+    cell_timeout_s:
+        Per-task timeout in seconds for the parallel path (``None``
+        disables).  A timed-out task counts as a failed attempt and is
+        retried; note the abandoned worker keeps running to completion
+        in the background (``multiprocessing`` cannot safely interrupt
+        it), so the pool temporarily runs one effective worker short.
+        Ignored in-process (``workers=1``), where a timeout cannot be
+        enforced without a second process.
+    max_retries:
+        How many times a failed/timed-out task is retried before its
+        cells are declared failed.  Retries are deterministic replays
+        (same payload, same seeds), so they only help against transient
+        causes -- OOM kills, timeouts on a loaded machine.
+    retry_backoff_s:
+        Base of the exponential backoff slept before retry ``k``
+        (``retry_backoff_s * 2**k`` seconds); ``0`` disables sleeping
+        (used by the tests).
 
     Returns
     -------
     SweepResult
-        Metrics grid plus cache-hit accounting.
+        Metrics grid plus cache-hit and failed-cell accounting.
     """
     config = config or SimulationConfig()
     factory, key = _resolve_scenario(scenario, scenario_key)
@@ -435,6 +534,23 @@ def run_sweep(
                 },
             )
 
+    failures: List[FailedCell] = []
+
+    def _fail(run: int, run_seed: int, missing: List[str], error: str) -> None:
+        if strict:
+            raise SimulationError(
+                f"sweep cell failed after {max_retries} retries "
+                f"(run {run}, run_seed {run_seed}, protocols {missing}): {error}"
+            )
+        for protocol in missing:
+            failures.append(
+                FailedCell(protocol=protocol, run=run, run_seed=run_seed, error=error)
+            )
+
+    def _backoff(attempt: int) -> None:
+        if retry_backoff_s > 0:
+            time.sleep(retry_backoff_s * (2**attempt))
+
     if pending:
         n_requested = default_workers() if workers is None else max(1, int(workers))
         # One task normally covers all of a run's uncached protocols, so
@@ -458,17 +574,52 @@ def run_sweep(
             methods = multiprocessing.get_all_start_methods()
             ctx = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
             with ctx.Pool(processes=n_workers) as pool:
-                # imap (not map): results stream back task by task, and
-                # chunksize=1 keeps uneven tasks from queueing behind a
-                # straggler worker.
-                for (run, run_seed, missing), metrics_list in zip(
-                    tasks, pool.imap(_simulate_run, payloads, chunksize=1)
+                # All tasks are submitted up front (apply_async, one
+                # handle each) so the pool stays saturated; results are
+                # then collected task by task, which is where the
+                # per-task timeout and bounded retry live.  Collection
+                # order is submission order, so results -- and cache
+                # writes -- land deterministically.
+                handles = [
+                    pool.apply_async(_simulate_run, (payload,)) for payload in payloads
+                ]
+                for (run, run_seed, missing), payload, handle in zip(
+                    tasks, payloads, handles
                 ):
+                    metrics_list = None
+                    error = "unknown error"
+                    for attempt in range(max_retries + 1):
+                        try:
+                            metrics_list = handle.get(cell_timeout_s)
+                            break
+                        except multiprocessing.TimeoutError:
+                            error = f"timed out after {cell_timeout_s} s"
+                        except Exception as exc:  # worker raised
+                            error = f"{type(exc).__name__}: {exc}"
+                        if attempt < max_retries:
+                            _backoff(attempt)
+                            handle = pool.apply_async(_simulate_run, (payload,))
+                    if metrics_list is None:
+                        _fail(run, run_seed, missing, error)
+                        continue
                     for protocol, metrics in zip(missing, metrics_list):
                         _record(run, run_seed, protocol, metrics)
         else:
             for (run, run_seed, missing), payload in zip(tasks, payloads):
-                for protocol, metrics in zip(missing, _simulate_run(payload)):
+                metrics_list = None
+                error = "unknown error"
+                for attempt in range(max_retries + 1):
+                    try:
+                        metrics_list = _simulate_run(payload)
+                        break
+                    except Exception as exc:
+                        error = f"{type(exc).__name__}: {exc}"
+                        if attempt < max_retries:
+                            _backoff(attempt)
+                if metrics_list is None:
+                    _fail(run, run_seed, missing, error)
+                    continue
+                for protocol, metrics in zip(missing, metrics_list):
                     _record(run, run_seed, protocol, metrics)
     else:
         n_workers = 1
@@ -478,4 +629,5 @@ def run_sweep(
         cache_hits=hits,
         cache_misses=misses,
         workers=n_workers if pending else 1,
+        failures=failures,
     )

@@ -150,3 +150,93 @@ class TestRetransmissionQueue:
         queue.enqueue(Packet(0, 1, packet_id=10))
         queue.enqueue(Packet(0, 1, packet_id=11))
         assert queue.head().packet_id == 10
+
+
+class TestPartialDeliveryBoundary:
+    """Retry accounting at the partial-delivery boundary.
+
+    An aggregated attempt spans several packets; a failure must age every
+    packet it carried (not just the head), and forward progress on the
+    head must reset its retry count -- otherwise a slow-but-working link
+    drops packets at the cap, and a dead link never drops the tail.
+    """
+
+    def test_fail_ages_every_packet_the_attempt_spanned(self):
+        queue = RetransmissionQueue(max_retries=2)
+        first = Packet(0, 1, size_bytes=1500, packet_id=0)
+        second = Packet(0, 1, size_bytes=1500, packet_id=1)
+        third = Packet(0, 1, size_bytes=1500, packet_id=2)
+        for packet in (first, second, third):
+            queue.enqueue(packet)
+        # an aggregated attempt carrying the first two packets fails
+        queue.fail(attempted_bits=24_000)
+        assert first.retries == 1
+        assert second.retries == 1
+        assert third.retries == 0  # not part of the attempt
+
+    def test_fail_with_partial_span_rounds_up_to_the_head(self):
+        queue = RetransmissionQueue()
+        head = Packet(0, 1, size_bytes=1500, packet_id=0)
+        tail = Packet(0, 1, size_bytes=1500, packet_id=1)
+        queue.enqueue(head)
+        queue.enqueue(tail)
+        # a fragment smaller than the head still ages (only) the head
+        queue.fail(attempted_bits=4_000)
+        assert head.retries == 1
+        assert tail.retries == 0
+
+    def test_legacy_fail_ages_only_the_head(self):
+        queue = RetransmissionQueue()
+        head = Packet(0, 1, size_bytes=1500, packet_id=0)
+        tail = Packet(0, 1, size_bytes=1500, packet_id=1)
+        queue.enqueue(head)
+        queue.enqueue(tail)
+        queue.fail()
+        assert head.retries == 1
+        assert tail.retries == 0
+
+    def test_partial_progress_resets_the_head_retry_count(self):
+        queue = RetransmissionQueue(max_retries=2)
+        packet = Packet(0, 1, size_bytes=1500)
+        queue.enqueue(packet)
+        queue.fail(attempted_bits=12_000)
+        queue.fail(attempted_bits=12_000)
+        assert packet.retries == 2
+        # forward progress: part of the packet gets through
+        queue.acknowledge(4_000)
+        assert packet.retries == 0
+        # the cap now counts from the last progress, not from enqueue
+        queue.fail(attempted_bits=8_000)
+        queue.fail(attempted_bits=8_000)
+        assert queue.has_traffic
+        assert queue.dropped_packets == 0
+
+    def test_drops_count_remaining_bits_not_original_size(self):
+        queue = RetransmissionQueue(max_retries=0)
+        packet = Packet(0, 1, size_bytes=1500)
+        queue.enqueue(packet)
+        queue.acknowledge(2_000)  # 10k bits left (and retries reset)
+        queue.fail(attempted_bits=10_000)
+        assert not queue.has_traffic
+        assert queue.dropped_packets == 1
+        assert queue.dropped_bits == 10_000
+
+    def test_aggregated_fail_drops_every_capped_packet(self):
+        queue = RetransmissionQueue(max_retries=0)
+        for packet_id in range(3):
+            queue.enqueue(Packet(0, 1, size_bytes=1500, packet_id=packet_id))
+        queue.fail(attempted_bits=36_000)
+        assert not queue.has_traffic
+        assert queue.dropped_packets == 3
+        assert queue.dropped_bits == 36_000
+
+    def test_dropped_packets_survive_into_network_metrics(self):
+        """The drop counter flows through to LinkMetrics."""
+        from repro.sim.metrics import LinkMetrics
+
+        metrics = LinkMetrics(pair_name="tx1->rx1", packets_dropped=3)
+        assert LinkMetrics.from_dict(metrics.to_dict()).packets_dropped == 3
+        # entries cached before the counter existed still load
+        legacy = metrics.to_dict()
+        legacy.pop("packets_dropped")
+        assert LinkMetrics.from_dict(legacy).packets_dropped == 0

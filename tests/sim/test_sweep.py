@@ -426,7 +426,7 @@ class TestDenseScenarios:
 
 
 class TestSchemaBoundary:
-    """The CACHE_SCHEMA_VERSION 3 bump (grouped draw contract).
+    """The CACHE_SCHEMA_VERSION 4 bump (fault layer + retry accounting).
 
     Cells written under an older schema must be *missed* -- recomputed
     under the current semantics -- never replayed; and ``channel_draws``
@@ -434,27 +434,27 @@ class TestSchemaBoundary:
     selecting a different draw contract changes every seeded channel.
     """
 
-    def test_v2_cached_cells_are_missed_after_the_v3_bump(self, tmp_path, monkeypatch):
+    def test_v3_cached_cells_are_missed_after_the_v4_bump(self, tmp_path, monkeypatch):
         import repro.sim.sweep as sweep_module
 
-        assert sweep_module.CACHE_SCHEMA_VERSION == 3
+        assert sweep_module.CACHE_SCHEMA_VERSION == 4
 
-        # Populate the cache as a v2 writer would have keyed it.
-        monkeypatch.setattr(sweep_module, "CACHE_SCHEMA_VERSION", 2)
+        # Populate the cache as a v3 writer would have keyed it.
+        monkeypatch.setattr(sweep_module, "CACHE_SCHEMA_VERSION", 3)
         old = run_sweep(
             "three-pair", ["n+"], n_runs=2, seed=4, config=FAST, cache_dir=tmp_path
         )
         assert old.cache_misses == 2 and len(SweepCache(tmp_path)) == 2
 
-        # Back on the real schema: every v2 cell is a miss, not a replay.
+        # Back on the real schema: every v3 cell is a miss, not a replay.
         monkeypatch.undo()
-        assert sweep_module.CACHE_SCHEMA_VERSION == 3
+        assert sweep_module.CACHE_SCHEMA_VERSION == 4
         bumped = run_sweep(
             "three-pair", ["n+"], n_runs=2, seed=4, config=FAST, cache_dir=tmp_path
         )
         assert bumped.cache_hits == 0 and bumped.cache_misses == 2
         # The recomputed cells are correct (identical to an uncached sweep)
-        # and were re-stored under the v3 keys next to the stale v2 files.
+        # and were re-stored under the v4 keys next to the stale v3 files.
         fresh = run_sweep("three-pair", ["n+"], n_runs=2, seed=4, config=FAST)
         assert _as_dicts(bumped.results) == _as_dicts(fresh.results)
         assert len(SweepCache(tmp_path)) == 4
@@ -463,10 +463,10 @@ class TestSchemaBoundary:
         import repro.sim.sweep as sweep_module
 
         cache = SweepCache(tmp_path)
+        v4_key = cache.cell_key("three-pair", "n+", 4, FAST)
+        monkeypatch.setattr(sweep_module, "CACHE_SCHEMA_VERSION", 3)
         v3_key = cache.cell_key("three-pair", "n+", 4, FAST)
-        monkeypatch.setattr(sweep_module, "CACHE_SCHEMA_VERSION", 2)
-        v2_key = cache.cell_key("three-pair", "n+", 4, FAST)
-        assert v3_key != v2_key
+        assert v4_key != v3_key
 
     def test_scenario_digest_covers_channel_draws(self):
         import dataclasses as dc
@@ -486,3 +486,238 @@ class TestSchemaBoundary:
             SimulationConfig(duration_us=10_000.0, n_subcarriers=8, channel_draws="grouped")
         )
         assert grouped != base
+
+
+def _crash_on_seed(run_seed_to_crash):
+    """A build_network wrapper that raises for one placement seed."""
+    from repro.sim.runner import build_network as real_build_network
+
+    def crashing(scenario, run_seed, config):
+        if run_seed == run_seed_to_crash:
+            raise RuntimeError(f"injected crash for run_seed {run_seed}")
+        return real_build_network(scenario, run_seed, config)
+
+    return crashing
+
+
+class TestSweepHardening:
+    """run_sweep survives (and reports) failing cells instead of aborting."""
+
+    def test_in_process_failure_is_recorded(self, monkeypatch):
+        import repro.sim.sweep as sweep_module
+        from repro.sim.runner import placement_seed
+        from repro.sim.sweep import FailedCell
+
+        bad_seed = placement_seed(4, 1)
+        monkeypatch.setattr(sweep_module, "build_network", _crash_on_seed(bad_seed))
+        result = run_sweep(
+            "three-pair",
+            ["n+", "802.11n"],
+            n_runs=3,
+            seed=4,
+            config=FAST,
+            retry_backoff_s=0.0,
+        )
+        assert result.results["n+"][1] is None
+        assert result.results["802.11n"][1] is None
+        assert result.results["n+"][0] is not None
+        assert sorted(f.protocol for f in result.failures) == ["802.11n", "n+"]
+        for failure in result.failures:
+            assert isinstance(failure, FailedCell)
+            assert failure.run == 1
+            assert failure.run_seed == bad_seed
+            assert "injected crash" in failure.error
+        # aggregates skip the failed cells instead of crashing
+        assert len(result.totals_mbps("n+")) == 2
+        assert result.link_names()  # found from a surviving cell
+
+    def test_strict_restores_raise_on_failure(self, monkeypatch):
+        import repro.sim.sweep as sweep_module
+        from repro.exceptions import SimulationError
+        from repro.sim.runner import placement_seed
+
+        monkeypatch.setattr(
+            sweep_module, "build_network", _crash_on_seed(placement_seed(4, 0))
+        )
+        with pytest.raises(SimulationError):
+            run_sweep(
+                "three-pair",
+                ["n+"],
+                n_runs=1,
+                seed=4,
+                config=FAST,
+                strict=True,
+                retry_backoff_s=0.0,
+            )
+
+    def test_retry_recovers_from_a_transient_failure(self, monkeypatch):
+        import repro.sim.sweep as sweep_module
+        from repro.sim.runner import build_network as real_build_network
+
+        calls = {"count": 0}
+
+        def flaky(scenario, run_seed, config):
+            calls["count"] += 1
+            if calls["count"] == 1:
+                raise RuntimeError("transient")
+            return real_build_network(scenario, run_seed, config)
+
+        monkeypatch.setattr(sweep_module, "build_network", flaky)
+        clean = run_sweep("three-pair", ["n+"], n_runs=1, seed=4, config=FAST)
+        monkeypatch.undo()
+        monkeypatch.setattr(sweep_module, "build_network", flaky)
+        calls["count"] = 0
+        retried = run_sweep(
+            "three-pair",
+            ["n+"],
+            n_runs=1,
+            seed=4,
+            config=FAST,
+            max_retries=1,
+            retry_backoff_s=0.0,
+        )
+        assert not retried.failures
+        # a retry is a deterministic replay: identical metrics
+        assert _as_dicts(retried.results) == _as_dicts(clean.results)
+
+    def test_parallel_failure_is_recorded(self, monkeypatch):
+        if "fork" not in __import__("multiprocessing").get_all_start_methods():
+            pytest.skip("needs fork so workers inherit the monkeypatch")
+        import repro.sim.sweep as sweep_module
+        from repro.sim.runner import placement_seed
+
+        bad_seed = placement_seed(4, 1)
+        monkeypatch.setattr(sweep_module, "build_network", _crash_on_seed(bad_seed))
+        result = run_sweep(
+            "three-pair",
+            ["n+"],
+            n_runs=3,
+            seed=4,
+            config=FAST,
+            workers=2,
+            retry_backoff_s=0.0,
+        )
+        assert [m is None for m in result.results["n+"]] == [False, True, False]
+        assert [f.run for f in result.failures] == [1]
+
+    def test_failed_cells_are_not_cached(self, monkeypatch, tmp_path):
+        """A failure leaves no cache entry, so the next sweep recomputes."""
+        import repro.sim.sweep as sweep_module
+        from repro.sim.runner import placement_seed
+
+        monkeypatch.setattr(
+            sweep_module, "build_network", _crash_on_seed(placement_seed(4, 0))
+        )
+        failed = run_sweep(
+            "three-pair",
+            ["n+"],
+            n_runs=1,
+            seed=4,
+            config=FAST,
+            cache_dir=tmp_path,
+            retry_backoff_s=0.0,
+        )
+        assert failed.failures
+        assert len(SweepCache(tmp_path)) == 0
+        monkeypatch.undo()
+        recovered = run_sweep(
+            "three-pair", ["n+"], n_runs=1, seed=4, config=FAST, cache_dir=tmp_path
+        )
+        assert not recovered.failures
+        assert recovered.cache_misses == 1
+        assert recovered.results["n+"][0] is not None
+
+
+class TestCacheCrashSafety:
+    def _metrics(self):
+        return NetworkMetrics(
+            elapsed_us=100.0, links={"a->b": LinkMetrics(pair_name="a->b")}
+        )
+
+    def test_interrupted_store_leaves_no_entry_and_no_temp(self, tmp_path, monkeypatch):
+        """A crash mid-publish (os.replace fails) must not leave a
+        truncated entry under the final name, nor a stray temp file."""
+        import os as os_module
+
+        cache = SweepCache(tmp_path)
+        key = cache.cell_key("three-pair", "n+", 4, FAST)
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash at publish time")
+
+        monkeypatch.setattr("repro.sim.sweep.os.replace", exploding_replace)
+        with pytest.raises(OSError):
+            cache.store(key, self._metrics(), describe={})
+        monkeypatch.undo()
+        assert cache.load(key) is None  # miss, not a stale/partial entry
+        assert list(tmp_path.glob("*.tmp.*")) == []
+        # ...and the cell can be rewritten afterwards
+        cache.store(key, self._metrics(), describe={})
+        assert cache.load(key) is not None
+
+    def test_truncated_entry_is_a_miss_and_rewritable(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        key = cache.cell_key("three-pair", "n+", 4, FAST)
+        cache.store(key, self._metrics(), describe={})
+        full = (tmp_path / f"{key}.json").read_text()
+        (tmp_path / f"{key}.json").write_text(full[: len(full) // 2])
+        assert cache.load(key) is None
+        cache.store(key, self._metrics(), describe={})
+        assert cache.load(key) is not None
+
+    def test_entry_with_wrong_shape_is_a_miss(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        key = cache.cell_key("three-pair", "n+", 4, FAST)
+        (tmp_path / f"{key}.json").write_text('{"cell": {}}')  # no metrics
+        assert cache.load(key) is None
+        (tmp_path / f"{key}.json").write_text('{"metrics": {"links": 5}}')
+        assert cache.load(key) is None
+
+
+class TestSchemaV4FaultDigests:
+    """Fault parameters are part of every cache key (schema v4)."""
+
+    def test_config_digest_covers_fault_fields(self):
+        base = config_digest(FAST)
+        profiled = config_digest(
+            SimulationConfig(
+                duration_us=10_000.0, n_subcarriers=8, fault_profile="mixed"
+            )
+        )
+        traced = config_digest(
+            SimulationConfig(
+                duration_us=10_000.0, n_subcarriers=8, fault_trace="trace.json"
+            )
+        )
+        assert len({base, profiled, traced}) == 3
+
+    def test_scenario_digest_covers_the_fault_profile(self):
+        base = dense_lan_scenario(n_pairs=2, seed=1)
+        faulty = dense_lan_scenario(n_pairs=2, seed=1, fault_profile="mixed")
+        assert scenario_digest(base) != scenario_digest(faulty)
+
+    def test_scenario_digest_tracks_profile_parameters(self, monkeypatch):
+        """Editing a registered profile's numbers invalidates cached
+        cells even though the profile *name* is unchanged."""
+        import dataclasses as dc
+
+        from repro.sim import faults
+
+        scenario = dense_lan_scenario(n_pairs=2, seed=1, fault_profile="mixed")
+        before = scenario_digest(scenario)
+        edited = dc.replace(faults.fault_profile("mixed"), fade_rate_per_s=999.0)
+        monkeypatch.setitem(faults.FAULT_PROFILES, "mixed", edited)
+        assert scenario_digest(scenario) != before
+
+    def test_cell_key_covers_fault_config(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        base = cache.cell_key("dense-lan-20-faulty", "n+", 4, FAST)
+        off = cache.cell_key(
+            "dense-lan-20-faulty",
+            "n+",
+            4,
+            SimulationConfig(
+                duration_us=10_000.0, n_subcarriers=8, fault_profile="none"
+            ),
+        )
+        assert base != off
