@@ -4,10 +4,19 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: test docs-check examples bench bench-compare bench-quick bench-baseline
+.PHONY: test test-fast docs-check examples bench bench-compare bench-quick bench-baseline precommit
 
 test:
 	$(PYTHON) -m pytest -q
+
+# Deselects @pytest.mark.slow (the full-PHY-heavy deep sweeps); the
+# full `make test` still runs everything.
+test-fast:
+	$(PYTHON) -m pytest -q -m "not slow"
+
+# The documented pre-commit gate: the fast test selection plus the
+# CI-affordable benchmark comparison.
+precommit: test-fast bench-quick
 
 # Fails when README/ARCHITECTURE code blocks or the examples go stale.
 docs-check:

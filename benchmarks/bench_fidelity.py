@@ -1,0 +1,78 @@
+"""Two-fidelity PHY benchmarks: auto-tier rounds and the probe kernel.
+
+``bench_fidelity_auto_rounds`` times a full ``fidelity="auto"``
+simulation (``dense-lan-20-bursty``): margin classification on every
+attempted group plus the memoised full-PHY escalations for in-band
+links.  ``bench_fidelity_abstraction_overhead`` times the *same*
+scenario and network under the default abstraction tier -- the pair
+bounds what the fidelity layer costs when armed and documents that the
+abstraction path carries none of it.  ``bench_full_phy_probe`` isolates
+one un-memoised probe (encode -> channel -> decode at 1024 bits), the
+unit of work every escalation cache miss pays.
+
+Tracked in ``BENCH_core.json``; run ``python benchmarks/run_all.py
+--compare`` to gate regressions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.phy.rates import MCS_TABLE
+from repro.sim.fidelity import phy_stream_rng, simulate_probe_delivery
+from repro.sim.runner import SimulationConfig, build_network, run_simulation
+from repro.sim.scenarios import scenario_factory
+
+_AUTO_CONFIG = SimulationConfig(
+    duration_us=30_000.0, n_subcarriers=8, fidelity="auto"
+)
+_ABSTRACTION_CONFIG = SimulationConfig(duration_us=30_000.0, n_subcarriers=8)
+_SEED = 7
+
+_state: dict = {}
+
+
+def _setup():
+    """Build (once) the bursty scenario and its network."""
+    if not _state:
+        scenario = scenario_factory("dense-lan-20-bursty")()
+        network = build_network(scenario, _SEED, _AUTO_CONFIG)
+        _state["pair"] = (scenario, network)
+    return _state["pair"]
+
+
+def bench_fidelity_auto_rounds(benchmark):
+    """Auto-tier rounds on a bursty 20-station LAN, 30 ms window."""
+    scenario, network = _setup()
+    metrics = benchmark(
+        lambda: run_simulation(
+            scenario, "n+", seed=_SEED, config=_AUTO_CONFIG, network=network
+        )
+    )
+    assert metrics.elapsed_us > 0
+    assert metrics.total_throughput_mbps() > 0.0
+
+
+def bench_fidelity_abstraction_overhead(benchmark):
+    """The same scenario under the abstraction tier: the no-op baseline."""
+    scenario, network = _setup()
+    metrics = benchmark(
+        lambda: run_simulation(
+            scenario, "n+", seed=_SEED, config=_ABSTRACTION_CONFIG, network=network
+        )
+    )
+    assert metrics.elapsed_us > 0
+
+
+def bench_full_phy_probe(benchmark):
+    """One 1024-bit probe at the delivery cliff: the escalation unit cost.
+
+    Pins the channel 1 dB above the logistic centre of MCS 3 so the
+    probe exercises a realistic (noisy, mostly-delivering) operating
+    point rather than a saturated shortcut.
+    """
+    mcs = MCS_TABLE[3]
+    snrs = np.full(8, mcs.min_esnr_db - 1.5)
+    rng = phy_stream_rng(_SEED, 1, 2)
+
+    benchmark(lambda: simulate_probe_delivery(snrs, mcs, rng))

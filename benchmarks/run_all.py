@@ -45,6 +45,7 @@ TRACKED_FILES = [
     "benchmarks/bench_dense_rounds.py",
     "benchmarks/bench_build_network.py",
     "benchmarks/bench_faults.py",
+    "benchmarks/bench_fidelity.py",
 ]
 
 #: Entries skipped by ``--quick``: the 500-station tier and the kept

@@ -10,6 +10,7 @@ Installed as a module runner::
     python -m repro.cli handshake
     python -m repro.cli scenarios
     python -m repro.cli sweep --scenario dense-lan-30 --protocols 802.11n,n+ --runs 50 --workers 4
+    python -m repro.cli validate-fidelity --scenario dense-lan-20 --links 8
     python -m repro.cli all --quick
 
 Each figure sub-command runs the corresponding experiment from
@@ -17,7 +18,9 @@ Each figure sub-command runs the corresponding experiment from
 harness produces.  ``scenarios`` lists the registered topologies,
 ``sweep`` runs an arbitrary scenario x protocol grid through the parallel
 orchestrator (:mod:`repro.sim.sweep`) with optional worker fan-out and
-on-disk result caching.
+on-disk result caching, and ``validate-fidelity`` prints the
+cross-fidelity agreement table of :mod:`repro.sim.fidelity` for sampled
+links of a scenario.
 """
 
 from __future__ import annotations
@@ -68,6 +71,8 @@ def _simulation_config(args: argparse.Namespace) -> SimulationConfig:
         channel_draws=args.channel_draws,
         fault_profile=args.fault_profile,
         fault_trace=args.fault_trace,
+        fidelity=args.fidelity,
+        fidelity_band_db=args.fidelity_band_db,
     )
 
 
@@ -180,6 +185,20 @@ def _run_sweep(args: argparse.Namespace) -> None:
         )
 
 
+def _run_validate_fidelity(args: argparse.Namespace) -> None:
+    from repro.sim.fidelity import cross_validate_links
+
+    scenario = args.scenario or "dense-lan-20"
+    _print_header(f"Cross-fidelity validation -- {scenario}")
+    report = cross_validate_links(
+        scenario,
+        seed=args.seed,
+        n_links=args.links,
+        config=_simulation_config(args),
+    )
+    print(report.format_table())
+
+
 def _run_all(args: argparse.Namespace) -> None:
     if args.quick:
         args.trials = min(args.trials, 200)
@@ -199,6 +218,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "handshake": _run_handshake,
     "scenarios": _run_scenarios,
     "sweep": _run_sweep,
+    "validate-fidelity": _run_validate_fidelity,
     "all": _run_all,
 }
 
@@ -270,6 +290,27 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="JSON or CSV trace of loss episodes to replay (start_us, duration_us, "
         "loss_rate[, tx_id, rx_id]); combined with --fault-profile if both given",
+    )
+    parser.add_argument(
+        "--fidelity",
+        choices=["abstraction", "auto", "full"],
+        default=None,
+        help="PHY fidelity tier for simulation runs (see repro.sim.fidelity): "
+        "'abstraction' (the default), 'auto' escalates uncertain links to the "
+        "full transceiver, 'full' escalates every reception",
+    )
+    parser.add_argument(
+        "--fidelity-band-db",
+        type=float,
+        default=None,
+        help="half-width (dB) of the 'auto' uncertainty band around the "
+        "delivery cliff (default: the scenario's hint, else 3.0)",
+    )
+    parser.add_argument(
+        "--links",
+        type=int,
+        default=8,
+        help="links sampled per scenario by the 'validate-fidelity' command",
     )
     parser.add_argument(
         "--strict",

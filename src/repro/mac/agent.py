@@ -19,7 +19,7 @@ from repro.exceptions import MediumAccessError
 from repro.mac.aggregation import airtime_for_bits
 from repro.mac.bitrate import choose_bitrate
 from repro.mac.csma import DcfContender
-from repro.mac.plan import PlanCache, stream_signature
+from repro.mac.plan import PlanCache, involved_node_ids, stream_signature
 from repro.mac.retransmission import RetransmissionQueue
 from repro.phy.rates import MCS
 from repro.sim.link_abstraction import receiver_stream_snrs
@@ -276,13 +276,9 @@ class BaseMacAgent:
         in a static network; a fade bumping any involved link changes
         the signature and so retires exactly the affected entries).
         """
-        involved = {self.node_id, receiver_id}
-        for stream in planned:
-            involved.add(stream.transmitter_id)
-            involved.add(stream.receiver_id)
-        for stream in concurrent:
-            involved.add(stream.transmitter_id)
-            involved.add(stream.receiver_id)
+        involved = involved_node_ids(
+            planned, concurrent, extra=(self.node_id, receiver_id)
+        )
         key = (
             "measured-snrs",
             receiver_id,

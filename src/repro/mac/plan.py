@@ -38,6 +38,7 @@ __all__ = [
     "TransmissionPlan",
     "PlanCache",
     "stream_signature",
+    "involved_node_ids",
     "receiver_decoding_subspace",
     "plan_initial_transmission",
     "plan_join",
@@ -65,6 +66,24 @@ def stream_signature(streams) -> tuple:
         counts[triple] = ordinal + 1
         signature.append(triple + (ordinal,))
     return tuple(signature)
+
+
+def involved_node_ids(*stream_lists, extra=()) -> frozenset:
+    """Every node id touched by the given stream lists (plus ``extra``).
+
+    This is the set whose channel epochs a configuration-keyed memo must
+    include (via :meth:`repro.sim.network.Network.epoch_signature`): a
+    fault bumping any involved link's epoch changes the signature and so
+    retires exactly the entries that could have observed the old channel.
+    Shared by the agents' measured-SNR memo and the fidelity engine's
+    escalated-verdict memo so both invalidate identically.
+    """
+    involved = set(extra)
+    for streams in stream_lists:
+        for stream in streams:
+            involved.add(stream.transmitter_id)
+            involved.add(stream.receiver_id)
+    return frozenset(involved)
 
 
 class PlanCache:

@@ -33,6 +33,7 @@ __all__ = [
     "select_mcs",
     "esnr_for_modulation",
     "esnr_ber_average",
+    "delivery_margin_db",
     "packet_delivery_probability",
 ]
 
@@ -157,6 +158,27 @@ def select_mcs(
     return best
 
 
+def delivery_margin_db(
+    subcarrier_snrs_db: Sequence[float],
+    mcs: MCS,
+    threshold_offset_db: float = 2.5,
+) -> float:
+    """Signed ESNR distance (dB) to the 50% delivery point at ``mcs``.
+
+    The abstraction's delivery model is a logistic centred
+    ``threshold_offset_db`` *below* ``mcs.min_esnr_db`` (see
+    :func:`packet_delivery_probability`): the per-MCS thresholds of
+    Halperin et al. mark where delivery is already likely, not the 50%
+    point.  This helper exposes that margin directly so the fidelity
+    layer (:mod:`repro.sim.fidelity`) classifies links against the *same*
+    cliff centre the probability model uses -- a link with
+    ``|margin| <= band_db`` sits in the uncertain region where the
+    abstraction and the full transceiver may disagree.
+    """
+    esnr = esnr_for_modulation(subcarrier_snrs_db, mcs.modulation)
+    return float(esnr - mcs.min_esnr_db + threshold_offset_db)
+
+
 def packet_delivery_probability(
     subcarrier_snrs_db: Sequence[float],
     mcs: MCS,
@@ -178,8 +200,7 @@ def packet_delivery_probability(
     of dB above essentially always succeeds, and one sent a couple of dB
     below almost always fails.
     """
-    esnr = esnr_for_modulation(subcarrier_snrs_db, mcs.modulation)
-    margin = esnr - mcs.min_esnr_db + threshold_offset_db
+    margin = delivery_margin_db(subcarrier_snrs_db, mcs, threshold_offset_db)
     base = 1.0 / (1.0 + np.exp(-margin / max(steepness_db, 1e-3)))
     # Longer packets are slightly harder to deliver at the same BER.
     length_factor = min(1.0, 12_000 / max(packet_bits, 1))

@@ -57,6 +57,7 @@ from repro.mac.plan import PlanCache
 from repro.phy.esnr import packet_delivery_probability
 from repro.sim.engine import EventScheduler
 from repro.sim.faults import FaultInjector, FaultSchedule, fault_profile
+from repro.sim.fidelity import DEFAULT_BAND_DB, FIDELITY_MODES, FidelityEngine
 from repro.sim.link_abstraction import receiver_stream_snrs
 from repro.sim.medium import Medium, ScheduledStream
 from repro.sim.metrics import NetworkMetrics
@@ -73,6 +74,8 @@ __all__ = [
     "build_fault_schedule",
     "effective_channel_draws",
     "effective_fault_profile",
+    "effective_fidelity",
+    "effective_fidelity_band_db",
     "placement_seed",
     "mac_seed",
     "mac_factory",
@@ -184,6 +187,24 @@ class SimulationConfig:
         cache key; the digest records the path, so retracing a file in
         place requires a fresh cache dir (traces are normally immutable
         experiment inputs).
+    fidelity:
+        PHY fidelity tier (:mod:`repro.sim.fidelity`): ``"abstraction"``
+        predicts every delivery from the link abstraction (bit-identical
+        to the pre-fidelity simulator), ``"auto"`` escalates receptions
+        whose delivery margin falls inside the uncertainty band to a real
+        transceiver probe whose verdict overrides the abstraction's coin,
+        and ``"full"`` escalates every evaluated reception.  ``None``
+        (the default) defers to the scenario's
+        :attr:`~repro.sim.scenarios.Scenario.fidelity` hint, falling back
+        to ``"abstraction"``.  Changes seeded results, so it is part of
+        the sweep cache key (via the config digest).
+    fidelity_band_db:
+        Half-width (dB) of the ``"auto"`` uncertainty band around the
+        delivery cliff.  ``None`` defers to the scenario's
+        :attr:`~repro.sim.scenarios.Scenario.fidelity_band_db` hint,
+        falling back to
+        :data:`repro.sim.fidelity.DEFAULT_BAND_DB`.  Part of the cache
+        key for the same reason.
     """
 
     duration_us: float = 100_000.0
@@ -196,6 +217,8 @@ class SimulationConfig:
     channel_draws: Optional[str] = None
     fault_profile: Optional[str] = None
     fault_trace: Optional[str] = None
+    fidelity: Optional[str] = None
+    fidelity_band_db: Optional[float] = None
 
 
 @dataclass
@@ -250,6 +273,33 @@ def effective_fault_profile(
         name = config.fault_profile
         return None if name in ("", "none") else name
     return getattr(scenario, "fault_profile", None)
+
+
+def effective_fidelity(scenario: Scenario, config: SimulationConfig) -> str:
+    """The PHY fidelity tier in effect: config beats the scenario hint.
+
+    Mirrors :func:`effective_channel_draws`: ``None`` everywhere resolves
+    to ``"abstraction"``, the bit-identical-to-before default.  This is
+    *the* resolution rule -- the event loops, the condensed reference's
+    refusal and the sweep digests all route through it.
+    """
+    name = config.fidelity
+    if name is None:
+        name = getattr(scenario, "fidelity", None)
+    name = name or "abstraction"
+    if name not in FIDELITY_MODES:
+        raise ConfigurationError(
+            f"unknown fidelity {name!r}; choose from {FIDELITY_MODES}"
+        )
+    return name
+
+
+def effective_fidelity_band_db(scenario: Scenario, config: SimulationConfig) -> float:
+    """The uncertainty band half-width in effect: config beats the hint."""
+    if config.fidelity_band_db is not None:
+        return float(config.fidelity_band_db)
+    hint = getattr(scenario, "fidelity_band_db", None)
+    return float(hint) if hint is not None else DEFAULT_BAND_DB
 
 
 def build_fault_schedule(
@@ -334,6 +384,7 @@ def _evaluate_group(
     group: _TransmissionGroup,
     all_streams: Sequence[ScheduledStream],
     rng: np.random.Generator,
+    fidelity: Optional[FidelityEngine] = None,
 ) -> bool:
     """Decide whether the group's payload was delivered."""
     if group.collided:
@@ -350,7 +401,16 @@ def _evaluate_group(
             probability,
             packet_delivery_probability(per_subcarrier, stream.mcs, group.payload_bits),
         )
-    return bool(rng.random() < probability)
+    # The abstraction's coin is drawn unconditionally so the main
+    # generator consumes the identical stream under every fidelity tier.
+    delivered = bool(rng.random() < probability)
+    if fidelity is not None:
+        verdict = fidelity.override_verdict(
+            group.agent.node_id, group.receiver_id, group.streams, all_streams, snrs
+        )
+        if verdict is not None:
+            delivered = verdict
+    return delivered
 
 
 def _slot_aligned_idle_end_reference(
@@ -450,6 +510,17 @@ class _EventDrivenLoop:
         self.faults: Optional[FaultInjector] = None
         if fault_schedule is not None and not fault_schedule.empty:
             self.faults = FaultInjector(fault_schedule, network, seed)
+        # No engine under "abstraction": the delivery path is exactly the
+        # pre-fidelity code (strict no-op), like the fault hooks above.
+        self.fidelity: Optional[FidelityEngine] = None
+        mode = effective_fidelity(scenario, config)
+        if mode != "abstraction":
+            self.fidelity = FidelityEngine(
+                network,
+                seed,
+                mode=mode,
+                band_db=effective_fidelity_band_db(scenario, config),
+            )
 
     def run(self) -> NetworkMetrics:
         """Run rounds until the observation window closes."""
@@ -614,7 +685,9 @@ class _EventDrivenLoop:
         # Evaluate deliveries with the final set of concurrent streams.
         all_streams = medium.active_streams
         for group in groups:
-            delivered = _evaluate_group(self.network, group, all_streams, rng)
+            delivered = _evaluate_group(
+                self.network, group, all_streams, rng, self.fidelity
+            )
             if faults is not None and delivered:
                 # Loss episodes overlapping the group's body interval
                 # lose the packet with their combined rate.  The coin
@@ -864,6 +937,11 @@ def _run_simulation_condensed_reference(
         raise ConfigurationError(
             "the condensed reference loop does not support fault injection; "
             "use run_simulation (or disable faults with fault_profile='none')"
+        )
+    if effective_fidelity(scenario, config) != "abstraction":
+        raise ConfigurationError(
+            "the condensed reference loop predates the fidelity layer; "
+            "use run_simulation (or fidelity='abstraction')"
         )
     rng = np.random.default_rng(seed)
     if network is None:

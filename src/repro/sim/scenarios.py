@@ -90,6 +90,18 @@ class Scenario:
         overrides this hint (``"none"`` disables).  Part of
         :func:`repro.sim.sweep.scenario_digest` (resolved parameters,
         not just the name) because faults change seeded results.
+    fidelity:
+        Optional suggested PHY fidelity tier (:mod:`repro.sim.fidelity`):
+        ``"abstraction"``, ``"auto"`` or ``"full"``.  ``None`` means the
+        default (``"abstraction"``).  A config with an explicit
+        :attr:`~repro.sim.runner.SimulationConfig.fidelity` overrides
+        this hint.  Part of :func:`repro.sim.sweep.scenario_digest`
+        because escalated verdicts change seeded results.
+    fidelity_band_db:
+        Optional suggested uncertainty-band half-width (dB) for the
+        ``"auto"`` tier; ``None`` means
+        :data:`repro.sim.fidelity.DEFAULT_BAND_DB`.  Config override
+        wins.  Part of the scenario digest for the same reason.
     """
 
     name: str
@@ -99,6 +111,8 @@ class Scenario:
     packet_rate_pps: Optional[float] = None
     channel_draws: Optional[str] = None
     fault_profile: Optional[str] = None
+    fidelity: Optional[str] = None
+    fidelity_band_db: Optional[float] = None
 
     def station_by_name(self, name: str) -> Station:
         """Look up a station by its label."""

@@ -98,7 +98,13 @@ __all__ = [
 #:    scenario's resolved profile parameters via the scenario digest --
 #:    so a static-network cell can never be replayed for a faulted sweep
 #:    (or vice versa).
-CACHE_SCHEMA_VERSION = 4
+#: 5: the two-fidelity PHY layer landed (repro.sim.fidelity): the
+#:    ``fidelity``/``fidelity_band_db`` knobs joined both digests (the
+#:    config fields automatically, the scenario hints explicitly), so an
+#:    abstraction-tier cell can never be replayed for an escalating
+#:    sweep (or vice versa); abstraction-tier metrics themselves are
+#:    unchanged, but v4 cells predate the knobs' digest coverage.
+CACHE_SCHEMA_VERSION = 5
 
 
 def config_digest(config: SimulationConfig) -> str:
@@ -160,6 +166,11 @@ def scenario_digest(scenario: Scenario) -> str:
             # profile hint) changes every seeded faulted metric, so it
             # must miss the cache like any other structural edit.
             "fault_profile": _scenario_fault_payload(scenario),
+            # The fidelity hints change which deliveries are decided by
+            # the full transceiver, i.e. seeded results -- same rule as
+            # the channel-draw and fault hints above.
+            "fidelity": getattr(scenario, "fidelity", None),
+            "fidelity_band_db": getattr(scenario, "fidelity_band_db", None),
             "testbed": {
                 "locations": [list(xy) for xy in testbed.locations],
                 "tx_power_dbm": testbed.tx_power_dbm,

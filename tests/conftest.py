@@ -6,6 +6,14 @@ import numpy as np
 import pytest
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: full-PHY-heavy or otherwise expensive tests, deselected by "
+        "`make test-fast` (pytest -m 'not slow')",
+    )
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """A deterministic random generator for reproducible tests."""
