@@ -1,0 +1,58 @@
+"""Recovery-policy benchmarks: what each loss-recovery mode costs.
+
+The three tracked entries run the *same* faulty 50-station scenario on
+the same pre-built network, varying only the ``recovery`` parameter of
+the ``n+`` spec.  ``recovery="none"`` is the baseline coin-flip path;
+``fast-retransmit`` adds the zero-backoff resend bookkeeping to every
+NACK; ``erasure`` replaces each overlapped delivery's single coin with
+an ``erasure_n``-fragment draw plus the decode accounting.  Tracking all
+three keeps the recovery family honest: a policy is supposed to trade
+*throughput* for loss resilience, not simulation runtime.
+
+Tracked in ``BENCH_core.json``; run ``python benchmarks/run_all.py
+--compare`` to gate regressions.
+"""
+
+from __future__ import annotations
+
+from repro.sim.runner import SimulationConfig, build_network, run_simulation
+from repro.sim.scenarios import scenario_factory
+
+_CONFIG = SimulationConfig(duration_us=50_000.0, n_subcarriers=8)
+_SEED = 7
+
+_state: dict = {}
+
+
+def _setup():
+    """Build (once) the faulty scenario and its network."""
+    if not _state:
+        scenario = scenario_factory("dense-lan-50-faulty")()
+        network = build_network(scenario, _SEED, _CONFIG)
+        _state["pair"] = (scenario, network)
+    return _state["pair"]
+
+
+def _run(protocol):
+    scenario, network = _setup()
+    return run_simulation(
+        scenario, protocol, seed=_SEED, config=_CONFIG, network=network
+    )
+
+
+def bench_recovery_none(benchmark):
+    """Baseline: exponential backoff + retry-capped requeue."""
+    metrics = benchmark(lambda: _run("n+"))
+    assert metrics.total_throughput_mbps() > 0.0
+
+
+def bench_recovery_fast_retransmit(benchmark):
+    """Zero-backoff resend on NACKed (channel-loss) frames."""
+    metrics = benchmark(lambda: _run("n+[recovery=fast-retransmit]"))
+    assert metrics.total_throughput_mbps() > 0.0
+
+
+def bench_recovery_erasure(benchmark):
+    """k-of-n coded bursts with per-delivery fragment draws."""
+    metrics = benchmark(lambda: _run("n+[recovery=erasure]"))
+    assert metrics.total_throughput_mbps() > 0.0

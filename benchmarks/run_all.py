@@ -46,6 +46,7 @@ TRACKED_FILES = [
     "benchmarks/bench_build_network.py",
     "benchmarks/bench_faults.py",
     "benchmarks/bench_fidelity.py",
+    "benchmarks/bench_recovery.py",
 ]
 
 #: Entries skipped by ``--quick``: the 500-station tier and the kept

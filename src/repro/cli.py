@@ -9,15 +9,20 @@ Installed as a module runner::
     python -m repro.cli fig13 --runs 10
     python -m repro.cli handshake
     python -m repro.cli scenarios
+    python -m repro.cli protocols
     python -m repro.cli sweep --scenario dense-lan-30 --protocols 802.11n,n+ --runs 50 --workers 4
+    python -m repro.cli sweep --scenario dense-lan-20-faulty --protocols "n+,n+[recovery=erasure]" --runs 8
     python -m repro.cli validate-fidelity --scenario dense-lan-20 --links 8
     python -m repro.cli all --quick
 
 Each figure sub-command runs the corresponding experiment from
 :mod:`repro.experiments` and prints the same summary rows the benchmark
 harness produces.  ``scenarios`` lists the registered topologies,
-``sweep`` runs an arbitrary scenario x protocol grid through the parallel
-orchestrator (:mod:`repro.sim.sweep`) with optional worker fan-out and
+``protocols`` lists the registered protocol variants with their typed
+parameters (:mod:`repro.mac.variants`), ``sweep`` runs an arbitrary
+scenario x protocol grid through the parallel orchestrator
+(:mod:`repro.sim.sweep`) -- protocol entries may carry parameters in
+``name[param=value,...]`` form -- with optional worker fan-out and
 on-disk result caching, and ``validate-fidelity`` prints the
 cross-fidelity agreement table of :mod:`repro.sim.fidelity` for sampled
 links of a scenario.
@@ -36,6 +41,7 @@ from repro.experiments import fig12_throughput as fig12
 from repro.experiments import fig13_heterogeneous as fig13
 from repro.experiments import handshake_overhead as handshake
 from repro.experiments.report import format_table
+from repro.mac.variants import available_variants, parse_protocol, split_protocol_list
 from repro.sim.runner import SimulationConfig
 from repro.sim.scenarios import available_scenarios, scenario_factory
 from repro.sim.sweep import run_sweep
@@ -137,9 +143,34 @@ def _run_scenarios(args: argparse.Namespace) -> None:
     )
 
 
+def _run_protocols(args: argparse.Namespace) -> None:
+    _print_header("Registered protocol variants")
+    rows = []
+    for entry in available_variants():
+        params = ", ".join(
+            f"{spec.name}={spec.default!r}" for spec in entry.params
+        ) or "-"
+        rows.append(
+            [
+                entry.name,
+                entry.agent_class.__name__,
+                "yes" if entry.supports_joining else "no",
+                params,
+            ]
+        )
+    print(format_table(["protocol", "agent", "joins", "params (defaults)"], rows))
+    print(
+        "\nSweep syntax: --protocols \"name,name[param=value,...]\", e.g. "
+        "\"n+,n+[recovery=erasure,retry_cap=3]\""
+    )
+
+
 def _run_sweep(args: argparse.Namespace) -> None:
     scenario = args.scenario or "three-pair"
-    protocols = [p.strip() for p in args.protocols.split(",") if p.strip()]
+    # Parse (and so validate) every entry up front: an unknown name or
+    # parameter aborts here with the registry listing, before any worker
+    # or simulation starts.
+    protocols = [parse_protocol(item) for item in split_protocol_list(args.protocols)]
     _print_header(
         f"Sweep -- {scenario}, {len(protocols)} protocol(s) x {args.runs} placement(s)"
     )
@@ -156,17 +187,17 @@ def _run_sweep(args: argparse.Namespace) -> None:
     )
     elapsed = time.time() - start
     rows = []
-    for protocol in protocols:
-        totals = result.totals_mbps(protocol)
+    for spec in protocols:
+        totals = result.totals_mbps(spec.key)
         fairness = [
-            m.fairness_index() for m in result.results[protocol] if m is not None
+            m.fairness_index() for m in result.results[spec.key] if m is not None
         ]
         if not totals:
-            rows.append([protocol, "-", "-", "-", "-"])
+            rows.append([spec.key, "-", "-", "-", "-"])
             continue
         rows.append(
             [
-                protocol,
+                spec.key,
                 f"{sum(totals) / len(totals):.1f}",
                 f"{min(totals):.1f}",
                 f"{max(totals):.1f}",
@@ -217,6 +248,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "fig13": _run_fig13,
     "handshake": _run_handshake,
     "scenarios": _run_scenarios,
+    "protocols": _run_protocols,
     "sweep": _run_sweep,
     "validate-fidelity": _run_validate_fidelity,
     "all": _run_all,
@@ -252,7 +284,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--protocols",
         default="802.11n,n+",
-        help="comma-separated protocols for the 'sweep' command",
+        help="comma-separated protocols for the 'sweep' command; entries may "
+        "carry parameters as name[param=value,...], e.g. "
+        "\"n+,n+[recovery=erasure,retry_cap=3]\" (see the 'protocols' command)",
     )
     parser.add_argument(
         "--workers",

@@ -81,6 +81,13 @@ CW_MAX = 1023
 #: Maximum number of retransmission attempts before a frame is dropped.
 MAX_RETRIES = 7
 
+#: Default dimensions of the k-of-n erasure code used by the ``erasure``
+#: recovery mode (see repro.mac.variants): a coded burst is carried as
+#: ``n`` fragments of which any ``k`` reconstruct the payload, so a burst
+#: survives a loss episode unless more than ``n - k`` fragments are lost.
+DEFAULT_ERASURE_K = 5
+DEFAULT_ERASURE_N = 8
+
 #: Default MAC payload size used throughout the paper's evaluation, bytes.
 DEFAULT_PACKET_SIZE_BYTES = 1500
 

@@ -14,7 +14,14 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.constants import HEADER_OFDM_SYMBOLS, OFDM_SYMBOL_DURATION_US_10MHZ, SIFS_US
+from repro.constants import (
+    DEFAULT_ERASURE_K,
+    DEFAULT_ERASURE_N,
+    HEADER_OFDM_SYMBOLS,
+    MAX_RETRIES,
+    OFDM_SYMBOL_DURATION_US_10MHZ,
+    SIFS_US,
+)
 from repro.exceptions import MediumAccessError
 from repro.mac.aggregation import airtime_for_bits
 from repro.mac.bitrate import choose_bitrate
@@ -67,6 +74,12 @@ class BaseMacAgent:
         scratch.  Both paths produce bit-identical metrics -- the cache
         only skips recomputation the static-channel invariant makes
         redundant.
+    spec:
+        Optional :class:`~repro.mac.variants.ProtocolSpec` carrying the
+        variant parameters (the recovery family: ``recovery``,
+        ``retry_cap``, ``erasure_k``/``erasure_n``).  Omitting it uses
+        every default -- identical to a default-parameter spec, so
+        pre-framework construction sites need not change.
     """
 
     protocol_name = "base"
@@ -88,12 +101,19 @@ class BaseMacAgent:
         packet_rate_pps: Optional[float] = None,
         arrival_seed: Optional[Sequence[int]] = None,
         plan_cache: Optional[PlanCache] = None,
+        spec=None,
     ) -> None:
         self.pair = pair
         self.network = network
         self.rng = rng
         self.plan_cache = plan_cache
         self.bitrate_margin_db = bitrate_margin_db
+        self.spec = spec
+        params = spec.resolved_params() if spec is not None else {}
+        self.recovery: str = params.get("recovery", "none")
+        self.retry_cap: int = int(params.get("retry_cap", MAX_RETRIES))
+        self.erasure_k: int = int(params.get("erasure_k", DEFAULT_ERASURE_K))
+        self.erasure_n: int = int(params.get("erasure_n", DEFAULT_ERASURE_N))
         self.contender = DcfContender(node_id=pair.transmitter.node_id)
         self.queues: Dict[int, RetransmissionQueue] = {}
         self.sources: Dict[int, object] = {}
@@ -102,7 +122,9 @@ class BaseMacAgent:
             receiver.node_id: receiver.n_antennas for receiver in pair.receivers
         }
         for receiver in pair.receivers:
-            self.queues[receiver.node_id] = RetransmissionQueue()
+            self.queues[receiver.node_id] = RetransmissionQueue(
+                max_retries=self.retry_cap
+            )
             if packet_rate_pps is None:
                 self.sources[receiver.node_id] = SaturatedSource(
                     source_id=pair.transmitter.node_id,
@@ -344,11 +366,16 @@ class BaseMacAgent:
     # -- outcomes -------------------------------------------------------------------------------
 
     def record_outcome(
-        self, receiver_id: int, attempted_bits: int, delivered: bool
+        self, receiver_id: int, attempted_bits: int, delivered: bool,
+        collided: bool = False,
     ) -> int:
         """Update queues and contention state after a transmission.
 
-        Returns the number of bits acknowledged.
+        ``collided`` distinguishes a contention collision from a channel
+        loss (a NACKed frame): under the ``fast-retransmit`` recovery
+        policy a channel loss arms a zero-backoff resend instead of
+        doubling the contention window, while collisions always back off
+        exponentially.  Returns the number of bits acknowledged.
         """
         if receiver_id not in self.queues:
             raise MediumAccessError(
@@ -361,7 +388,10 @@ class BaseMacAgent:
             acknowledged = attempted_bits
         else:
             queue.fail(attempted_bits)
-            self.contender.record_collision()
+            if self.recovery == "fast-retransmit" and not collided:
+                self.contender.arm_fast_retransmit()
+            else:
+                self.contender.record_collision()
             acknowledged = 0
         if self._traffic_listener is not None:
             backlogged, join_rx_antennas, _ = self._queue_snapshot()

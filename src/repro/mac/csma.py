@@ -38,23 +38,44 @@ class DcfContender:
     cw_min: int = CW_MIN
     cw_max: int = CW_MAX
     _cw: int = field(default=CW_MIN, repr=False)
+    _fast_retransmit: bool = field(default=False, repr=False)
 
     def draw_backoff(self, rng: np.random.Generator) -> int:
         """Draw a uniform backoff counter from the current window."""
-        return int(rng.integers(0, self._cw + 1))
+        return int(rng.integers(0, self.backoff_window + 1))
 
     def record_collision(self) -> None:
         """Binary exponential backoff after a collision."""
         self._cw = min(2 * (self._cw + 1) - 1, self.cw_max)
+        self._fast_retransmit = False
 
     def record_success(self) -> None:
         """Reset the window after a successful transmission."""
         self._cw = self.cw_min
+        self._fast_retransmit = False
+
+    def arm_fast_retransmit(self) -> None:
+        """Give the node a free pass in the next contention round.
+
+        The ``fast-retransmit`` recovery policy arms this after a frame
+        is NACKed by *channel loss* (not a collision): the retransmission
+        contends with a zero backoff window instead of doubling the
+        contention window, LinkGuardian-style link-local resend.  The
+        pass is consumed by the next outcome either way -- a success
+        resets the window, a collision falls back to exponential backoff.
+        """
+        self._fast_retransmit = True
 
     @property
     def contention_window(self) -> int:
         """Current contention window (slots)."""
         return self._cw
+
+    @property
+    def backoff_window(self) -> int:
+        """Window actually used for the next draw (0 when fast-retransmit
+        is armed, the contention window otherwise)."""
+        return 0 if self._fast_retransmit else self._cw
 
 
 @dataclass(frozen=True)
@@ -107,7 +128,7 @@ def resolve_contention(
     if not contenders:
         return ContentionRound(winners=(), backoff_slots=0, start_delay_us=difs_us, collision=False)
     ordered = sorted(contenders, key=lambda c: c.node_id)
-    highs = np.array([c.contention_window for c in ordered], dtype=np.int64)
+    highs = np.array([c.backoff_window for c in ordered], dtype=np.int64)
     values = rng.integers(0, highs + 1)
     smallest = int(values.min())
     winners = tuple(

@@ -26,6 +26,10 @@ class Dot11nMac(BaseMacAgent):
 
     protocol_name = "802.11n"
     supports_joining = False
+    #: Optional cap on concurrent spatial streams per attempt.  ``None``
+    #: uses every usable antenna (802.11n); the plain-CSMA baseline
+    #: subclass pins this to 1.
+    max_streams: Optional[int] = None
 
     def _next_receiver_id(self) -> Optional[int]:
         """Round-robin over receivers that currently have traffic."""
@@ -44,6 +48,8 @@ class Dot11nMac(BaseMacAgent):
             return []
         receiver = self.network.station(receiver_id)
         n_streams = min(self.n_antennas, receiver.n_antennas)
+        if self.max_streams is not None:
+            n_streams = min(n_streams, self.max_streams)
         packet = self.queues[receiver_id].head()
         if packet is None:
             return []

@@ -1,0 +1,23 @@
+"""The plain-CSMA baseline: single-stream DCF.
+
+The weakest rung of the protocol ladder (the ``do_nothing`` analogue of
+LinkGuardian's solution family): nodes contend exactly like 802.11n but
+the contention winner transmits a *single* spatial stream regardless of
+how many antennas it has.  Comparing it against ``802.11n`` isolates the
+gain of single-user spatial multiplexing the same way comparing
+``802.11n`` against ``n+`` isolates the gain of joining.
+"""
+
+from __future__ import annotations
+
+from repro.mac.dot11n import Dot11nMac
+
+__all__ = ["CsmaMac"]
+
+
+class CsmaMac(Dot11nMac):
+    """Single-stream single-user transmission over DCF."""
+
+    protocol_name = "csma"
+    supports_joining = False
+    max_streams = 1

@@ -545,6 +545,21 @@ class FaultInjector:
         self.losses_drawn += 1
         return bool(self._delivery_rng.random() < rate)
 
+    def draw_erasure(self, rate: float, n_fragments: int) -> int:
+        """How many of ``n_fragments`` coded fragments the episode erases.
+
+        The ``erasure`` recovery policy carries a payload as ``n`` coded
+        fragments, each lost independently with the episode's combined
+        ``rate``; the frame survives as long as ``erasure_k`` fragments
+        arrive.  One call counts as one entry of the dedicated delivery
+        stream (``losses_drawn``) regardless of ``n_fragments``, mirroring
+        :meth:`draw_loss` -- but note the stream itself advances by
+        ``n_fragments`` values, so erasure and plain-loss runs draw
+        different coin sequences by construction.
+        """
+        self.losses_drawn += 1
+        return int((self._delivery_rng.random(n_fragments) < rate).sum())
+
 
 # -- profile registry --------------------------------------------------------------
 

@@ -39,6 +39,15 @@ class LinkMetrics:
         :meth:`repro.mac.retransmission.RetransmissionQueue.fail`).  The
         default of 0 keeps :meth:`from_dict` compatible with cache
         entries written before the counter existed.
+    recovered_bits:
+        Payload bits that would have been lost to a fault episode but
+        were reconstructed receiver-side by the ``erasure`` recovery
+        policy (fragments erased, yet at least ``erasure_k`` of
+        ``erasure_n`` survived).  Recovered bits are always a subset of
+        the attempt's delivered bits -- a frame is either decoded (its
+        erased fragments counted here) or lost (nothing recovered), so no
+        bit is both recovered and dropped.  Same default-0 back-compat
+        pattern as ``packets_dropped``.
     """
 
     pair_name: str
@@ -51,6 +60,7 @@ class LinkMetrics:
     joins: int = 0
     collisions: int = 0
     packets_dropped: int = 0
+    recovered_bits: int = 0
 
     def throughput_mbps(self, elapsed_us: float) -> float:
         """Delivered throughput over an observation window."""

@@ -40,6 +40,11 @@ __all__ = ["ChannelBank", "Network"]
 #: order, vectorized vs readable math).
 DRAW_CONTRACTS = ("grouped", "batched", "per-pair")
 
+#: Station ids are packed two-per-int64 (``a * 2**32 + b``) to index
+#: directed links in :class:`ChannelBank`; ids must stay below 2**31 so
+#: packed keys cannot overflow the signed 64-bit key array.
+_PAIR_KEY_BASE = 1 << 31
+
 
 @lru_cache(maxsize=None)
 def _subcarrier_bins(n_subcarriers: int) -> np.ndarray:
@@ -82,7 +87,20 @@ class ChannelBank:
     def __init__(self) -> None:
         self._stacks: List[np.ndarray] = []
         self._snrs: List[np.ndarray] = []
-        self._index: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        #: Per-group ``(n_pairs_in_group, 2)`` int64 arrays of unordered
+        #: ``(a, b)`` station ids in slot order.  The directed-link index
+        #: is derived lazily from these (see :meth:`_sorted_index`): one
+        #: lexsorted key array searched with ``np.searchsorted`` replaces
+        #: the old per-pair dict inserts, which dominated bank
+        #: construction at the 500-station tiers.
+        self._pair_groups: List[np.ndarray] = []
+        self._sorted_keys: Optional[np.ndarray] = None
+        self._sorted_groups: Optional[np.ndarray] = None
+        self._sorted_slots: Optional[np.ndarray] = None
+        #: Resolved ``(tx, rx) -> (group, slot, transposed)`` lookups.
+        #: Hot paths query the same few directed links every round, so
+        #: each binary search is paid once per link per topology.
+        self._memo: Dict[Tuple[int, int], Tuple[int, int, bool]] = {}
 
     # -- construction ---------------------------------------------------------
 
@@ -110,15 +128,68 @@ class ChannelBank:
             raise DimensionError(
                 f"snrs_db must have one entry per pair, got shape {snrs.shape}"
             )
+        pair_array = np.asarray(pairs, dtype=np.int64).reshape(len(pairs), 2)
+        if pair_array.size and (
+            pair_array.min() < 0 or pair_array.max() >= _PAIR_KEY_BASE
+        ):
+            raise ConfigurationError(
+                "station ids must be non-negative and fit in 31 bits to be "
+                "packed into the pair-index keys"
+            )
         responses.setflags(write=False)
         snrs.setflags(write=False)
-        group = len(self._stacks)
+        pair_array.setflags(write=False)
         self._stacks.append(responses)
         self._snrs.append(snrs)
-        for slot, (a, b) in enumerate(pairs):
-            self._index[(int(a), int(b))] = (group, slot)
+        self._pair_groups.append(pair_array)
+        # Invalidate the lazily built sorted index and resolved lookups.
+        self._sorted_keys = None
+        self._sorted_groups = None
+        self._sorted_slots = None
+        self._memo.clear()
 
     # -- lookups --------------------------------------------------------------
+
+    def _sorted_index(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The lazily built ``(keys, groups, slots)`` sorted index.
+
+        All stored pairs are packed into one int64 key per direction-
+        canonical pair (``a * 2**32 + b``), lexsorted once, and searched
+        with :func:`np.searchsorted`.  Building this is O(pairs log
+        pairs) of pure array work -- no per-pair Python dict inserts --
+        and is amortised over every lookup until the next
+        :meth:`add_group`.
+        """
+        if self._sorted_keys is None:
+            if self._pair_groups:
+                pairs = np.concatenate(self._pair_groups, axis=0)
+                groups = np.repeat(
+                    np.arange(len(self._pair_groups), dtype=np.int64),
+                    [len(block) for block in self._pair_groups],
+                )
+                slots = np.concatenate(
+                    [np.arange(len(block), dtype=np.int64) for block in self._pair_groups]
+                )
+                keys = pairs[:, 0] * (1 << 32) + pairs[:, 1]
+                order = np.argsort(keys, kind="stable")
+                self._sorted_keys = keys[order]
+                self._sorted_groups = groups[order]
+                self._sorted_slots = slots[order]
+            else:
+                empty = np.empty(0, dtype=np.int64)
+                self._sorted_keys = empty
+                self._sorted_groups = empty
+                self._sorted_slots = empty
+        return self._sorted_keys, self._sorted_groups, self._sorted_slots
+
+    def _locate(self, a: int, b: int) -> Optional[Tuple[int, int]]:
+        """``(group, slot)`` storing the directed pair ``(a, b)``, if any."""
+        keys, groups, slots = self._sorted_index()
+        key = (a << 32) + b
+        position = int(np.searchsorted(keys, key))
+        if position < keys.size and keys[position] == key:
+            return int(groups[position]), int(slots[position])
+        return None
 
     def lookup(self, tx_id: int, rx_id: int) -> Tuple[int, int, bool]:
         """``(group, slot, transposed)`` of a directed link.
@@ -127,11 +198,19 @@ class ChannelBank:
         transposed view of the stored reciprocal direction.  Raises
         ``KeyError`` for a link no group covers.
         """
-        entry = self._index.get((tx_id, rx_id))
-        if entry is not None:
-            return entry[0], entry[1], False
-        group, slot = self._index[(rx_id, tx_id)]
-        return group, slot, True
+        link = (tx_id, rx_id)
+        entry = self._memo.get(link)
+        if entry is None:
+            found = self._locate(tx_id, rx_id)
+            if found is not None:
+                entry = (found[0], found[1], False)
+            else:
+                found = self._locate(rx_id, tx_id)
+                if found is None:
+                    raise KeyError(link)
+                entry = (found[0], found[1], True)
+            self._memo[link] = entry
+        return entry
 
     def channel(self, tx_id: int, rx_id: int) -> np.ndarray:
         """The read-only ``(n_sub, N, M)`` response of a directed link."""
@@ -146,7 +225,12 @@ class ChannelBank:
 
     def __contains__(self, link: Tuple[int, int]) -> bool:
         tx_id, rx_id = link
-        return (tx_id, rx_id) in self._index or (rx_id, tx_id) in self._index
+        if (tx_id, rx_id) in self._memo:
+            return True
+        return (
+            self._locate(tx_id, rx_id) is not None
+            or self._locate(rx_id, tx_id) is not None
+        )
 
     # -- in-place update kernels -----------------------------------------------
 
@@ -244,12 +328,14 @@ class ChannelBank:
 
     def pairs(self) -> List[Tuple[int, int]]:
         """The stored unordered pairs, in (group, slot) order."""
-        return list(self._index)
+        return [
+            (int(a), int(b)) for block in self._pair_groups for a, b in block
+        ]
 
     @property
     def n_pairs(self) -> int:
         """Number of stored unordered pairs."""
-        return len(self._index)
+        return sum(len(block) for block in self._pair_groups)
 
     @property
     def n_groups(self) -> int:

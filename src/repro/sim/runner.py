@@ -54,6 +54,7 @@ from repro.constants import SLOT_TIME_US
 from repro.exceptions import ConfigurationError, SimulationError
 from repro.mac.csma import resolve_contention
 from repro.mac.plan import PlanCache
+from repro.mac.variants import ProtocolLike, resolve_protocol
 from repro.phy.esnr import packet_delivery_probability
 from repro.sim.engine import EventScheduler
 from repro.sim.faults import FaultInjector, FaultSchedule, fault_profile
@@ -81,10 +82,6 @@ __all__ = [
     "mac_factory",
 ]
 
-#: Registry of protocol names to agent classes (filled lazily to avoid
-#: circular imports between the MAC and simulation packages).
-_PROTOCOLS: Dict[str, Callable] = {}
-
 #: Stream tag mixed into the simulation seed for channel-estimation noise,
 #: so the estimation stream is decorrelated from backoff/delivery draws.
 _ESTIMATION_STREAM_TAG = 0x657374  # "est"
@@ -97,29 +94,17 @@ _ESTIMATION_STREAM_TAG = 0x657374  # "est"
 _ARRIVAL_STREAM_TAG = 0x617272  # "arr"
 
 
-def mac_factory(protocol: str) -> Callable:
-    """Return the agent class registered under ``protocol``.
+def mac_factory(protocol) -> Callable:
+    """Return the agent class of ``protocol``.
 
-    Supported names: ``"802.11n"``, ``"n+"``, ``"beamforming"``.
+    A thin shim over the variant registry of :mod:`repro.mac.variants`
+    (where the former hard-coded ``_PROTOCOLS`` dict now lives as
+    declarative registrations): accepts any protocol form
+    :func:`~repro.mac.variants.resolve_protocol` does and raises
+    :class:`~repro.exceptions.ConfigurationError` -- listing the
+    registered variants -- on unknown names.
     """
-    if not _PROTOCOLS:
-        from repro.mac.beamforming import BeamformingMac
-        from repro.mac.dot11n import Dot11nMac
-        from repro.mac.nplus import NPlusMac
-
-        _PROTOCOLS.update(
-            {
-                Dot11nMac.protocol_name: Dot11nMac,
-                NPlusMac.protocol_name: NPlusMac,
-                BeamformingMac.protocol_name: BeamformingMac,
-            }
-        )
-    try:
-        return _PROTOCOLS[protocol]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown protocol {protocol!r}; choose from {sorted(_PROTOCOLS)}"
-        ) from None
+    return resolve_protocol(protocol).agent_class
 
 
 @dataclass
@@ -334,13 +319,14 @@ def build_fault_schedule(
 def _build_agents(
     scenario: Scenario,
     network: Network,
-    protocol: str,
+    protocol: ProtocolLike,
     rng: np.random.Generator,
     config: SimulationConfig,
     seed: Optional[int] = None,
     plan_cache: Optional[PlanCache] = None,
 ) -> Dict[int, object]:
-    agent_class = mac_factory(protocol)
+    spec = resolve_protocol(protocol)
+    agent_class = spec.agent_class
     packet_rate = _effective_packet_rate(scenario, config)
     arrival_seed = None if seed is None else (seed, _ARRIVAL_STREAM_TAG)
     agents: Dict[int, object] = {}
@@ -354,6 +340,7 @@ def _build_agents(
             packet_rate_pps=packet_rate,
             arrival_seed=arrival_seed,
             plan_cache=plan_cache,
+            spec=spec,
         )
     return agents
 
@@ -483,7 +470,7 @@ class _EventDrivenLoop:
     def __init__(
         self,
         scenario: Scenario,
-        protocol: str,
+        protocol: ProtocolLike,
         rng: np.random.Generator,
         config: SimulationConfig,
         network: Network,
@@ -690,17 +677,33 @@ class _EventDrivenLoop:
             )
             if faults is not None and delivered:
                 # Loss episodes overlapping the group's body interval
-                # lose the packet with their combined rate.  The coin
-                # comes from the dedicated delivery stream and is only
+                # lose the packet with their combined rate.  The coins
+                # come from the dedicated delivery stream and are only
                 # flipped when an episode actually overlaps, so runs
-                # without overlap consume no fault randomness.
+                # without overlap consume no fault randomness.  Under the
+                # "erasure" recovery policy the payload rides as n coded
+                # fragments of which any k reconstruct it, so the episode
+                # must erase more than n - k fragments to cost the packet;
+                # a decoded frame's erased share lands in recovered_bits
+                # (and only then -- a lost frame recovers nothing, so no
+                # bit is ever both recovered and dropped).
                 body_start = min(s.start_us for s in group.streams)
                 body_end = max(s.end_us for s in group.streams)
                 rate = faults.loss_rate(
                     group.agent.node_id, group.receiver_id, body_start, body_end
                 )
-                if rate > 0.0 and faults.draw_loss(rate):
-                    delivered = False
+                if rate > 0.0:
+                    recovering = group.agent
+                    if recovering.recovery == "erasure":
+                        erased = faults.draw_erasure(rate, recovering.erasure_n)
+                        if erased > recovering.erasure_n - recovering.erasure_k:
+                            delivered = False
+                        elif erased > 0:
+                            metrics.link(recovering.name).recovered_bits += (
+                                group.payload_bits * erased
+                            ) // recovering.erasure_n
+                    elif faults.draw_loss(rate):
+                        delivered = False
             agent = group.agent
             link = metrics.link(agent.name)
             link.attempted_bits += group.payload_bits
@@ -712,7 +715,10 @@ class _EventDrivenLoop:
                 link.packets_delivered += 1
             else:
                 link.packets_failed += 1
-            agent.record_outcome(group.receiver_id, group.payload_bits, delivered)
+            agent.record_outcome(
+                group.receiver_id, group.payload_bits, delivered,
+                collided=group.collided,
+            )
 
         medium.clear()
         self._schedule_round(max(end_of_round, now + SLOT_TIME_US))
@@ -737,7 +743,7 @@ class _BatchedEventDrivenLoop(_EventDrivenLoop):
     def __init__(
         self,
         scenario: Scenario,
-        protocol: str,
+        protocol: ProtocolLike,
         rng: np.random.Generator,
         config: SimulationConfig,
         network: Network,
@@ -819,7 +825,7 @@ _PIPELINES: Dict[str, type] = {
 
 def run_simulation(
     scenario: Scenario,
-    protocol: str,
+    protocol: ProtocolLike,
     seed: int = 0,
     config: Optional[SimulationConfig] = None,
     network: Optional[Network] = None,
@@ -843,7 +849,13 @@ def run_simulation(
         custom testbed (dense LANs need more candidate locations) and a
         suggested Poisson packet rate; both are honoured here.
     protocol:
-        ``"802.11n"``, ``"n+"`` or ``"beamforming"``.
+        Any form :func:`~repro.mac.variants.resolve_protocol` accepts: a
+        registered variant name (``"csma"``, ``"802.11n"``, ``"n+"``,
+        ``"beamforming"``), a parameterised string
+        (``"n+[recovery=erasure]"``), a ``(name, params)`` pair or a
+        :class:`~repro.mac.variants.ProtocolSpec`.  A bare name is
+        exactly a default-parameter spec -- bit-identical to every
+        pre-framework run.
     seed:
         Seed for placements, channels, backoff and delivery draws.
     config:
@@ -881,6 +893,7 @@ def run_simulation(
         a fault-free run.
     """
     config = config or SimulationConfig()
+    protocol = resolve_protocol(protocol)
     try:
         loop_class = _PIPELINES[pipeline]
     except KeyError:
@@ -915,7 +928,7 @@ def run_simulation(
 
 def _run_simulation_condensed_reference(
     scenario: Scenario,
-    protocol: str,
+    protocol: ProtocolLike,
     seed: int = 0,
     config: Optional[SimulationConfig] = None,
     network: Optional[Network] = None,
@@ -1064,7 +1077,10 @@ def _run_simulation_condensed_reference(
                 link.packets_delivered += 1
             else:
                 link.packets_failed += 1
-            agent.record_outcome(group.receiver_id, group.payload_bits, delivered)
+            agent.record_outcome(
+                group.receiver_id, group.payload_bits, delivered,
+                collided=group.collided,
+            )
 
         medium.clear()
         now = max(end_of_round, now + SLOT_TIME_US)
@@ -1118,7 +1134,7 @@ def build_network(scenario: Scenario, run_seed: int, config: SimulationConfig) -
 
 def simulate_placement(
     scenario_factory: Callable[[], Scenario],
-    protocol: str,
+    protocol: ProtocolLike,
     run_seed: int,
     config: Optional[SimulationConfig] = None,
 ) -> NetworkMetrics:
@@ -1141,7 +1157,7 @@ def simulate_placement(
 
 def run_many(
     scenario_factory: Callable[[], Scenario],
-    protocols: Sequence[str],
+    protocols: Sequence[ProtocolLike],
     n_runs: int,
     seed: int = 0,
     config: Optional[SimulationConfig] = None,
@@ -1150,7 +1166,12 @@ def run_many(
 
     For each run (i.e. each random assignment of nodes to locations) all
     protocols are simulated on the *same* network, mirroring the paper's
-    methodology of comparing schemes location by location.
+    methodology of comparing schemes location by location.  ``protocols``
+    entries may be bare names or any parameterised form
+    :func:`~repro.mac.variants.resolve_protocol` accepts, so one call can
+    compare ``"n+"`` against ``("n+", {"recovery": "erasure"})`` on
+    identical channels.  All specs are resolved (and validated) up front,
+    before any simulation runs.
 
     Seeding semantics
     -----------------
@@ -1166,21 +1187,32 @@ def run_many(
     Returns
     -------
     dict
-        ``{protocol: [metrics of run 0, metrics of run 1, ...]}``.
+        ``{spec key: [metrics of run 0, metrics of run 1, ...]}``, where
+        a spec's key is its canonical string form
+        (:attr:`~repro.mac.variants.ProtocolSpec.key`) -- the bare name
+        for default-parameter specs, so existing callers see unchanged
+        dictionaries.
     """
     config = config or SimulationConfig()
-    results: Dict[str, List[NetworkMetrics]] = {protocol: [] for protocol in protocols}
+    specs = [resolve_protocol(protocol) for protocol in protocols]
+    results: Dict[str, List[NetworkMetrics]] = {}
+    for spec in specs:
+        if spec.key in results:
+            raise ConfigurationError(
+                f"duplicate protocol {spec.key!r} in the protocol list"
+            )
+        results[spec.key] = []
     for run in range(n_runs):
         run_seed = placement_seed(seed, run)
         scenario = scenario_factory()
         network = build_network(scenario, run_seed, config)
-        for protocol in protocols:
+        for spec in specs:
             metrics = run_simulation(
                 scenario,
-                protocol,
+                spec,
                 seed=mac_seed(run_seed),
                 config=config,
                 network=network,
             )
-            results[protocol].append(metrics)
+            results[spec.key].append(metrics)
     return results

@@ -57,6 +57,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.channel.testbed import default_testbed
 from repro.exceptions import ConfigurationError, SimulationError
+from repro.mac.variants import ProtocolLike, ProtocolSpec, resolve_protocol
 from repro.sim.faults import fault_profile
 from repro.sim.metrics import NetworkMetrics
 from repro.sim.runner import (
@@ -104,7 +105,19 @@ __all__ = [
 #:    abstraction-tier cell can never be replayed for an escalating
 #:    sweep (or vice versa); abstraction-tier metrics themselves are
 #:    unchanged, but v4 cells predate the knobs' digest coverage.
-CACHE_SCHEMA_VERSION = 5
+#: 6: the protocol-variant framework landed (repro.mac.variants): the
+#:    protocol coordinate of a cell key is now the *spec-canonical* form
+#:    ``name`` or ``name[param=value,...]`` with non-default parameters
+#:    sorted, so parameterised sweeps (``retry_cap``, the ``recovery``
+#:    family) get distinct cells.  Within v6 a default-parameter spec
+#:    canonicalises to the bare name, i.e. hashes identically to the
+#:    pre-framework key payload -- but v5 cells are still missed (and
+#:    recomputed) because the schema version itself is part of the key:
+#:    default-parameter metrics are bit-identical, yet metrics now carry
+#:    the ``recovered_bits`` counter, and replaying a v5 cell into a
+#:    parameterised grid would silently alias specs the v5 payload never
+#:    distinguished.
+CACHE_SCHEMA_VERSION = 6
 
 
 def config_digest(config: SimulationConfig) -> str:
@@ -226,7 +239,7 @@ class SweepCache:
     def cell_key(
         self,
         scenario_key: str,
-        protocol: str,
+        protocol: ProtocolLike,
         run_seed: int,
         config: SimulationConfig,
         scenario_fingerprint: Optional[str] = None,
@@ -235,13 +248,19 @@ class SweepCache:
 
         ``scenario_fingerprint`` (see :func:`scenario_digest`) ties the
         key to the scenario's structure, not just its registry name.
+        ``protocol`` is canonicalised through
+        :func:`~repro.mac.variants.resolve_protocol` first, so a bare
+        name and its default-parameter spec produce the *same* key
+        (pre-framework call sites and spec-based ones share cells) while
+        any non-default parameter lands in the key as part of the
+        ``name[param=value,...]`` coordinate.
         """
         payload = json.dumps(
             {
                 "schema": CACHE_SCHEMA_VERSION,
                 "scenario": scenario_key,
                 "scenario_fingerprint": scenario_fingerprint,
-                "protocol": protocol,
+                "protocol": resolve_protocol(protocol).key,
                 "run_seed": run_seed,
                 "config": dataclasses.asdict(config),
             },
@@ -332,12 +351,17 @@ class SweepResult:
         """Number of placements per protocol (failed cells included)."""
         return len(next(iter(self.results.values()), []))
 
-    def totals_mbps(self, protocol: str) -> List[float]:
+    def totals_mbps(self, protocol: ProtocolLike) -> List[float]:
         """Per-run total network throughput of one protocol.
 
-        Failed cells (``None`` in the grid) are skipped, so aggregates
-        stay computable on a partially-failed sweep.
+        ``protocol`` may be the grid key (a spec-canonical string such as
+        ``"n+"`` or ``"n+[recovery=erasure]"``) or any form
+        :func:`~repro.mac.variants.resolve_protocol` accepts.  Failed
+        cells (``None`` in the grid) are skipped, so aggregates stay
+        computable on a partially-failed sweep.
         """
+        if not (isinstance(protocol, str) and protocol in self.results):
+            protocol = resolve_protocol(protocol).key
         return [
             m.total_throughput_mbps() for m in self.results[protocol] if m is not None
         ]
@@ -381,24 +405,24 @@ def _simulate_run(args: Tuple) -> List[NetworkMetrics]:
     per-cell computation either way, because every simulation reseeds its
     own RNG streams from ``mac_seed(run_seed)``.
     """
-    factory, protocols, run_seed, config = args
+    factory, specs, run_seed, config = args
     scenario = factory()
     network = build_network(scenario, run_seed, config)
     return [
         run_simulation(
             scenario,
-            protocol,
+            spec,
             seed=mac_seed(run_seed),
             config=config,
             network=network,
         )
-        for protocol in protocols
+        for spec in specs
     ]
 
 
 def run_sweep(
     scenario: Union[str, Callable[[], Scenario]],
-    protocols: Sequence[str],
+    protocols: Sequence[ProtocolLike],
     n_runs: int,
     seed: int = 0,
     config: Optional[SimulationConfig] = None,
@@ -425,7 +449,18 @@ def run_sweep(
         A registered scenario name (preferred; also keys the cache) or a
         zero-argument factory returning a :class:`Scenario`.
     protocols:
-        MAC protocol names to compare on every placement.
+        Protocols to compare on every placement: bare names, parameterised
+        strings (``"n+[recovery=erasure]"``), ``(name, params)`` pairs or
+        :class:`~repro.mac.variants.ProtocolSpec` objects, freely mixed --
+        so a grid can range over protocol *parameters*, e.g.
+        ``[("n+", {"retry_cap": c}) for c in (1, 3, 7)]``.  Every entry is
+        resolved and validated *before* any worker is spawned; an unknown
+        name or unknown/ill-typed parameter raises
+        :class:`~repro.exceptions.ConfigurationError` listing the
+        registered variants and their parameters.  The result grid is
+        keyed by each spec's canonical string
+        (:attr:`~repro.mac.variants.ProtocolSpec.key` -- the bare name
+        for default parameters).
     n_runs:
         Number of random placements.
     seed:
@@ -482,9 +517,19 @@ def run_sweep(
     """
     config = config or SimulationConfig()
     factory, key = _resolve_scenario(scenario, scenario_key)
-    protocols = list(protocols)
-    if not protocols:
+    # Fail fast: resolve every protocol entry up front, so an unknown
+    # name or ill-typed parameter raises here -- with the registry
+    # listing -- instead of dying inside a worker as a FailedCell.
+    specs: List[ProtocolSpec] = [resolve_protocol(p) for p in protocols]
+    if not specs:
         raise ConfigurationError("need at least one protocol to sweep")
+    seen_keys = set()
+    for spec in specs:
+        if spec.key in seen_keys:
+            raise ConfigurationError(
+                f"duplicate protocol {spec.key!r} in the sweep grid"
+            )
+        seen_keys.add(spec.key)
     if n_runs < 1:
         raise ConfigurationError("need at least one run to sweep")
 
@@ -500,45 +545,48 @@ def run_sweep(
         # edited scenario definition cannot replay stale cells.
         fingerprint = scenario_digest(factory())
 
-    def _cell_key(protocol: str, run_seed: int) -> str:
-        return cache.cell_key(key, protocol, run_seed, config, fingerprint)
+    def _cell_key(spec: ProtocolSpec, run_seed: int) -> str:
+        return cache.cell_key(key, spec, run_seed, config, fingerprint)
 
     grid: Dict[str, List[Optional[NetworkMetrics]]] = {
-        protocol: [None] * n_runs for protocol in protocols
+        spec.key: [None] * n_runs for spec in specs
     }
-    # One pending task per run, listing the protocols whose cells missed
-    # the cache: the unit of work shipped to a worker.  Protocols keep
+    # One pending task per run, listing the protocol specs whose cells
+    # missed the cache: the unit of work shipped to a worker.  Specs keep
     # their sweep order inside each task so results are reproducible.
-    pending: List[Tuple[int, int, List[str]]] = []  # (run, run_seed, protocols)
+    pending: List[Tuple[int, int, List[ProtocolSpec]]] = []  # (run, run_seed, specs)
     misses = 0
     hits = 0
     for run in range(n_runs):
         run_seed = placement_seed(seed, run)
-        missing: List[str] = []
-        for protocol in protocols:
+        missing: List[ProtocolSpec] = []
+        for spec in specs:
             if cache is not None:
-                cached = cache.load(_cell_key(protocol, run_seed))
+                cached = cache.load(_cell_key(spec, run_seed))
                 if cached is not None:
-                    grid[protocol][run] = cached
+                    grid[spec.key][run] = cached
                     hits += 1
                     continue
-            missing.append(protocol)
+            missing.append(spec)
         if missing:
             pending.append((run, run_seed, missing))
             misses += len(missing)
 
-    def _record(run: int, run_seed: int, protocol: str, metrics: NetworkMetrics) -> None:
-        grid[protocol][run] = metrics
+    def _record(
+        run: int, run_seed: int, spec: ProtocolSpec, metrics: NetworkMetrics
+    ) -> None:
+        grid[spec.key][run] = metrics
         if cache is not None:
             # Stored as soon as each task completes, so an interrupted or
             # partially failed sweep keeps every finished cell.
             cache.store(
-                _cell_key(protocol, run_seed),
+                _cell_key(spec, run_seed),
                 metrics,
                 describe={
                     "scenario": key,
                     "scenario_fingerprint": fingerprint,
-                    "protocol": protocol,
+                    "protocol": spec.key,
+                    "protocol_params": spec.resolved_params(),
                     "run": run,
                     "run_seed": run_seed,
                     "config_digest": config_digest(config),
@@ -547,15 +595,18 @@ def run_sweep(
 
     failures: List[FailedCell] = []
 
-    def _fail(run: int, run_seed: int, missing: List[str], error: str) -> None:
+    def _fail(
+        run: int, run_seed: int, missing: List[ProtocolSpec], error: str
+    ) -> None:
         if strict:
             raise SimulationError(
                 f"sweep cell failed after {max_retries} retries "
-                f"(run {run}, run_seed {run_seed}, protocols {missing}): {error}"
+                f"(run {run}, run_seed {run_seed}, "
+                f"protocols {[s.key for s in missing]}): {error}"
             )
-        for protocol in missing:
+        for spec in missing:
             failures.append(
-                FailedCell(protocol=protocol, run=run, run_seed=run_seed, error=error)
+                FailedCell(protocol=spec.key, run=run, run_seed=run_seed, error=error)
             )
 
     def _backoff(attempt: int) -> None:
@@ -571,7 +622,7 @@ def run_sweep(
         # shares one network draw across its protocols, so the build
         # count only grows as far as the concurrency actually used.
         per_task = max(1, -(-misses // n_requested))  # ceil division
-        tasks: List[Tuple[int, int, List[str]]] = []
+        tasks: List[Tuple[int, int, List[ProtocolSpec]]] = []
         for run, run_seed, missing in pending:
             for start in range(0, len(missing), per_task):
                 tasks.append((run, run_seed, missing[start : start + per_task]))
@@ -613,8 +664,8 @@ def run_sweep(
                     if metrics_list is None:
                         _fail(run, run_seed, missing, error)
                         continue
-                    for protocol, metrics in zip(missing, metrics_list):
-                        _record(run, run_seed, protocol, metrics)
+                    for spec, metrics in zip(missing, metrics_list):
+                        _record(run, run_seed, spec, metrics)
         else:
             for (run, run_seed, missing), payload in zip(tasks, payloads):
                 metrics_list = None
@@ -630,8 +681,8 @@ def run_sweep(
                 if metrics_list is None:
                     _fail(run, run_seed, missing, error)
                     continue
-                for protocol, metrics in zip(missing, metrics_list):
-                    _record(run, run_seed, protocol, metrics)
+                for spec, metrics in zip(missing, metrics_list):
+                    _record(run, run_seed, spec, metrics)
     else:
         n_workers = 1
 

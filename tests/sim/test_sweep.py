@@ -426,7 +426,7 @@ class TestDenseScenarios:
 
 
 class TestSchemaBoundary:
-    """The CACHE_SCHEMA_VERSION 5 bump (two-fidelity PHY layer).
+    """The CACHE_SCHEMA_VERSION 6 bump (spec-canonical protocol coordinate).
 
     Cells written under an older schema must be *missed* -- recomputed
     under the current semantics -- never replayed; and ``channel_draws``
@@ -434,27 +434,27 @@ class TestSchemaBoundary:
     selecting a different draw contract changes every seeded channel.
     """
 
-    def test_v4_cached_cells_are_missed_after_the_v5_bump(self, tmp_path, monkeypatch):
+    def test_v5_cached_cells_are_missed_after_the_v6_bump(self, tmp_path, monkeypatch):
         import repro.sim.sweep as sweep_module
 
-        assert sweep_module.CACHE_SCHEMA_VERSION == 5
+        assert sweep_module.CACHE_SCHEMA_VERSION == 6
 
-        # Populate the cache as a v4 writer would have keyed it.
-        monkeypatch.setattr(sweep_module, "CACHE_SCHEMA_VERSION", 4)
+        # Populate the cache as a v5 writer would have keyed it.
+        monkeypatch.setattr(sweep_module, "CACHE_SCHEMA_VERSION", 5)
         old = run_sweep(
             "three-pair", ["n+"], n_runs=2, seed=4, config=FAST, cache_dir=tmp_path
         )
         assert old.cache_misses == 2 and len(SweepCache(tmp_path)) == 2
 
-        # Back on the real schema: every v4 cell is a miss, not a replay.
+        # Back on the real schema: every v5 cell is a miss, not a replay.
         monkeypatch.undo()
-        assert sweep_module.CACHE_SCHEMA_VERSION == 5
+        assert sweep_module.CACHE_SCHEMA_VERSION == 6
         bumped = run_sweep(
             "three-pair", ["n+"], n_runs=2, seed=4, config=FAST, cache_dir=tmp_path
         )
         assert bumped.cache_hits == 0 and bumped.cache_misses == 2
         # The recomputed cells are correct (identical to an uncached sweep)
-        # and were re-stored under the v5 keys next to the stale v4 files.
+        # and were re-stored under the v6 keys next to the stale v5 files.
         fresh = run_sweep("three-pair", ["n+"], n_runs=2, seed=4, config=FAST)
         assert _as_dicts(bumped.results) == _as_dicts(fresh.results)
         assert len(SweepCache(tmp_path)) == 4
@@ -463,10 +463,10 @@ class TestSchemaBoundary:
         import repro.sim.sweep as sweep_module
 
         cache = SweepCache(tmp_path)
+        v6_key = cache.cell_key("three-pair", "n+", 4, FAST)
+        monkeypatch.setattr(sweep_module, "CACHE_SCHEMA_VERSION", 5)
         v5_key = cache.cell_key("three-pair", "n+", 4, FAST)
-        monkeypatch.setattr(sweep_module, "CACHE_SCHEMA_VERSION", 4)
-        v4_key = cache.cell_key("three-pair", "n+", 4, FAST)
-        assert v5_key != v4_key
+        assert v6_key != v5_key
 
     def test_scenario_digest_covers_channel_draws(self):
         import dataclasses as dc

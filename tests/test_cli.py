@@ -9,7 +9,8 @@ class TestParser:
     def test_known_commands_parse(self):
         parser = build_parser()
         for command in (
-            "fig9", "fig11", "fig12", "fig13", "handshake", "scenarios", "sweep", "all"
+            "fig9", "fig11", "fig12", "fig13", "handshake", "scenarios",
+            "protocols", "sweep", "all",
         ):
             args = parser.parse_args([command])
             assert args.command == command
@@ -73,6 +74,43 @@ class TestMain:
         assert exit_code == 0
         for name in ("three-pair", "dense-lan-20", "dense-lan-50"):
             assert name in captured.out
+
+    def test_protocols_command_lists_registry(self, capsys):
+        exit_code = main(["protocols"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        for name in ("csma", "802.11n", "beamforming", "n+"):
+            assert name in captured.out
+        for param in ("recovery", "retry_cap", "erasure_k", "erasure_n"):
+            assert param in captured.out
+
+    def test_sweep_accepts_parameterised_specs(self, capsys, tmp_path):
+        argv = [
+            "sweep",
+            "--scenario", "three-pair",
+            "--protocols", "csma,csma[retry_cap=3]",
+            "--runs", "1",
+            "--duration-ms", "8",
+            "--subcarriers", "8",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "csma[retry_cap=3]" in out
+
+    def test_sweep_rejects_bad_specs_before_simulating(self, capsys, tmp_path):
+        from repro.exceptions import ConfigurationError
+
+        argv = [
+            "sweep",
+            "--scenario", "three-pair",
+            "--protocols", "csma,aloha",
+            "--runs", "1",
+            "--cache-dir", str(tmp_path),
+        ]
+        with pytest.raises(ConfigurationError, match="registered variants"):
+            main(argv)
+        assert not list(tmp_path.glob("*.json"))
 
     def test_sweep_command_runs_with_cache(self, capsys, tmp_path):
         argv = [
