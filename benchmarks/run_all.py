@@ -39,7 +39,9 @@ BASELINE_PATH = REPO_ROOT / "BENCH_core.json"
 
 #: Benchmark files whose timings are tracked against the baseline.  The
 #: figure-reproduction benchmarks are excluded: they are experiment
-#: re-runs, not per-packet hot paths.
+#: re-runs, not per-packet hot paths.  ``bench_sweep_scaling`` tracks
+#: only its warm cache-replay pair (store vs legacy JSON cache); its
+#: scaling script remains untracked.
 TRACKED_FILES = [
     "benchmarks/bench_core_primitives.py",
     "benchmarks/bench_dense_rounds.py",
@@ -47,6 +49,7 @@ TRACKED_FILES = [
     "benchmarks/bench_faults.py",
     "benchmarks/bench_fidelity.py",
     "benchmarks/bench_recovery.py",
+    "benchmarks/bench_sweep_scaling.py",
 ]
 
 #: Entries skipped by ``--quick``: the 500-station tier and the kept

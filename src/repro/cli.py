@@ -12,6 +12,8 @@ Installed as a module runner::
     python -m repro.cli protocols
     python -m repro.cli sweep --scenario dense-lan-30 --protocols 802.11n,n+ --runs 50 --workers 4
     python -m repro.cli sweep --scenario dense-lan-20-faulty --protocols "n+,n+[recovery=erasure]" --runs 8
+    python -m repro.cli sweep --scenario dense-lan-30 --runs 50 --cache-dir .sweep-cache --resume
+    python -m repro.cli results --cache-dir .sweep-cache
     python -m repro.cli validate-fidelity --scenario dense-lan-20 --links 8
     python -m repro.cli all --quick
 
@@ -23,7 +25,10 @@ parameters (:mod:`repro.mac.variants`), ``sweep`` runs an arbitrary
 scenario x protocol grid through the parallel orchestrator
 (:mod:`repro.sim.sweep`) -- protocol entries may carry parameters in
 ``name[param=value,...]`` form -- with optional worker fan-out and
-on-disk result caching, and ``validate-fidelity`` prints the
+on-disk result caching, ``sweep --resume`` completes an interrupted
+cached sweep exactly where it stopped, ``results`` inspects a results
+store -- recorded sweeps and per-(scenario, protocol) cell states
+(:mod:`repro.sim.store`) -- and ``validate-fidelity`` prints the
 cross-fidelity agreement table of :mod:`repro.sim.fidelity` for sampled
 links of a scenario.
 """
@@ -40,10 +45,12 @@ from repro.experiments import fig11_nulling_alignment as fig11
 from repro.experiments import fig12_throughput as fig12
 from repro.experiments import fig13_heterogeneous as fig13
 from repro.experiments import handshake_overhead as handshake
+from repro.exceptions import ConfigurationError
 from repro.experiments.report import format_table
 from repro.mac.variants import available_variants, parse_protocol, split_protocol_list
 from repro.sim.runner import SimulationConfig
 from repro.sim.scenarios import available_scenarios, scenario_factory
+from repro.sim.store import ResultsStore
 from repro.sim.sweep import run_sweep
 
 __all__ = ["main", "build_parser"]
@@ -92,6 +99,7 @@ def _run_fig12(args: argparse.Namespace) -> None:
         scenario=scenario,
         workers=args.workers,
         cache_dir=args.cache_dir,
+        resume=args.resume,
     )
     print(fig12.summarize(experiment))
 
@@ -106,6 +114,7 @@ def _run_fig13(args: argparse.Namespace) -> None:
         scenario=scenario,
         workers=args.workers,
         cache_dir=args.cache_dir,
+        resume=args.resume,
     )
     print(fig13.summarize(experiment))
 
@@ -184,6 +193,7 @@ def _run_sweep(args: argparse.Namespace) -> None:
         workers=args.workers,
         cache_dir=args.cache_dir,
         strict=args.strict,
+        resume=args.resume,
     )
     elapsed = time.time() - start
     rows = []
@@ -209,11 +219,62 @@ def _run_sweep(args: argparse.Namespace) -> None:
         f"\n{result.cache_hits} cell(s) from cache, {result.cache_misses} simulated "
         f"on {result.workers} worker(s) in {elapsed:.1f} s"
     )
+    if result.worker_deaths:
+        print(f"{result.worker_deaths} worker death(s) absorbed (see 'repro results')")
     for failure in result.failures:
         print(
             f"FAILED cell: protocol={failure.protocol} run={failure.run} "
             f"seed={failure.run_seed}: {failure.error}"
         )
+
+
+def _run_results(args: argparse.Namespace) -> None:
+    if args.cache_dir is None:
+        raise ConfigurationError(
+            "the 'results' command needs --cache-dir pointing at a results store"
+        )
+    store = ResultsStore(args.cache_dir)
+    _print_header(f"Results store -- {args.cache_dir}")
+    sweeps = store.sweeps()
+    if sweeps:
+        rows = []
+        for record in sweeps:
+            manifest = record.manifest
+            rows.append(
+                [
+                    record.sweep_id[:12],
+                    record.status,
+                    str(manifest.get("scenario", "-")),
+                    str(manifest.get("n_runs", "-")),
+                    str(manifest.get("seed", "-")),
+                    ",".join(manifest.get("protocols", [])) or "-",
+                    time.strftime(
+                        "%Y-%m-%d %H:%M:%S", time.localtime(record.updated_at)
+                    ),
+                ]
+            )
+        print(
+            format_table(
+                ["sweep", "status", "scenario", "runs", "seed", "protocols", "updated"],
+                rows,
+            )
+        )
+    else:
+        print("no sweep manifests recorded")
+    summary = store.summary()
+    if summary:
+        states = ("done", "failed", "running", "pending")
+        rows = [
+            [scenario or "-", protocol or "-"]
+            + [str(counts.get(state, 0)) for state in states]
+            for (scenario, protocol), counts in sorted(
+                summary.items(), key=lambda item: (item[0][0] or "", item[0][1] or "")
+            )
+        ]
+        print()
+        print(format_table(["scenario", "protocol", *states], rows))
+    else:
+        print("no cells recorded")
 
 
 def _run_validate_fidelity(args: argparse.Namespace) -> None:
@@ -250,6 +311,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "scenarios": _run_scenarios,
     "protocols": _run_protocols,
     "sweep": _run_sweep,
+    "results": _run_results,
     "validate-fidelity": _run_validate_fidelity,
     "all": _run_all,
 }
@@ -297,7 +359,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--cache-dir",
         default=None,
-        help="directory of the on-disk sweep results cache (default: no cache)",
+        help="directory of the on-disk sweep results store (default: no cache); "
+        "a legacy JSON cell cache found there is migrated in automatically",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="for the 'sweep' command: resume an interrupted cached sweep -- "
+        "requires --cache-dir and the exact grid of the interrupted invocation",
     )
     parser.add_argument(
         "--packet-rate-pps",

@@ -7,8 +7,14 @@ class ReproError(Exception):
     """Base class for all errors raised by this library."""
 
 
-class ConfigurationError(ReproError):
-    """Raised when a component is configured with inconsistent parameters."""
+class ConfigurationError(ReproError, ValueError):
+    """Raised when a component is configured with inconsistent parameters.
+
+    Also a :class:`ValueError`: bad parameter *values* (a malformed fault
+    trace row, an out-of-range rate, an unparsable env override) are what
+    this error reports, so generic ``except ValueError`` handlers treat
+    it correctly.
+    """
 
 
 class DimensionError(ReproError):

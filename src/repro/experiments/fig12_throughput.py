@@ -95,6 +95,7 @@ def run_throughput_experiment(
     scenario: Union[str, Callable[[], Scenario]] = "three-pair",
     workers: Optional[int] = 1,
     cache_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> ThroughputExperiment:
     """Run the Fig. 12 sweep.
 
@@ -117,8 +118,11 @@ def run_throughput_experiment(
     workers:
         Worker processes for the sweep (1 = serial, ``None`` = all cores).
     cache_dir:
-        Optional on-disk results cache; repeated invocations replay
+        Optional on-disk results store; repeated invocations replay
         unchanged runs instead of recomputing them.
+    resume:
+        Resume an interrupted cached sweep (see
+        :func:`repro.sim.sweep.run_sweep`); requires ``cache_dir``.
     """
     config = config or SimulationConfig(duration_us=duration_us)
     protocols = ["802.11n", "n+"]
@@ -130,6 +134,7 @@ def run_throughput_experiment(
         config=config,
         workers=workers,
         cache_dir=cache_dir,
+        resume=resume,
     )
     raw = sweep.results
     pair_names = sweep.link_names()

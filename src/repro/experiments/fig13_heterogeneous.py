@@ -73,13 +73,15 @@ def run_heterogeneous_experiment(
     scenario: Union[str, Callable[[], Scenario]] = "heterogeneous-ap",
     workers: Optional[int] = 1,
     cache_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> HeterogeneousExperiment:
     """Run the Fig. 13 sweep over random placements.
 
-    ``scenario``/``workers``/``cache_dir`` behave as in
+    ``scenario``/``workers``/``cache_dir``/``resume`` behave as in
     :func:`repro.experiments.fig12_throughput.run_throughput_experiment`:
     any registered scenario (e.g. the dense LANs) can be swept, fanned out
-    over worker processes and memoised in the on-disk results cache.
+    over worker processes, memoised in the on-disk results store, and
+    resumed after an interruption.
     """
     config = config or SimulationConfig(duration_us=duration_us)
     protocols = ["802.11n", "beamforming", "n+"]
@@ -91,6 +93,7 @@ def run_heterogeneous_experiment(
         config=config,
         workers=workers,
         cache_dir=cache_dir,
+        resume=resume,
     )
     raw = sweep.results
     flow_names = sweep.link_names()

@@ -320,52 +320,99 @@ class FaultSchedule:
         lines are skipped.  This is the LinkGuardian-style trace-driven
         path: measured (or generated) loss traces replay identically
         across runs and protocols.
+
+        Every row is validated as it is read; a malformed trace raises
+        :class:`~repro.exceptions.ConfigurationError` (a ``ValueError``)
+        naming the offending row and field -- never a raw
+        ``KeyError``/``TypeError``/``IndexError`` from the middle of the
+        parse.
         """
         path = Path(path)
         try:
             text = path.read_text()
         except OSError as exc:
             raise ConfigurationError(f"cannot read fault trace {path}: {exc}") from exc
-        rows: List[dict] = []
+        rows: List[Tuple[str, dict]] = []  # (human row label, fields)
         if path.suffix.lower() == ".json":
-            data = json.loads(text)
+            try:
+                data = json.loads(text)
+            except ValueError as exc:
+                raise ConfigurationError(
+                    f"fault trace {path} is not valid JSON: {exc}"
+                ) from None
             if isinstance(data, dict):
                 data = data.get("episodes", [])
-            for entry in data:
-                rows.append(dict(entry))
+            if not isinstance(data, list):
+                raise ConfigurationError(
+                    f"fault trace {path} must be a JSON list of episode objects "
+                    f"(or {{'episodes': [...]}}), got {type(data).__name__}"
+                )
+            for index, entry in enumerate(data):
+                if not isinstance(entry, dict):
+                    raise ConfigurationError(
+                        f"fault trace {path}, episode {index}: expected an "
+                        f"object, got {type(entry).__name__}"
+                    )
+                rows.append((f"episode {index}", dict(entry)))
         else:
-            for record in csv.reader(text.splitlines()):
+            for lineno, record in enumerate(csv.reader(text.splitlines()), start=1):
                 if not record or record[0].lstrip().startswith("#"):
                     continue
                 try:
-                    start = float(record[0])
+                    float(record[0])
                 except ValueError:
                     continue  # header row
+                if len(record) < 3:
+                    raise ConfigurationError(
+                        f"fault trace {path}, line {lineno}: expected at least "
+                        f"3 fields (start_us, duration_us, loss_rate), got "
+                        f"{len(record)}"
+                    )
                 row = {
-                    "start_us": start,
-                    "duration_us": float(record[1]),
-                    "loss_rate": float(record[2]),
+                    "start_us": record[0],
+                    "duration_us": record[1],
+                    "loss_rate": record[2],
                 }
                 if len(record) >= 5 and record[3].strip() and record[4].strip():
-                    row["tx_id"] = int(record[3])
-                    row["rx_id"] = int(record[4])
-                rows.append(row)
+                    row["tx_id"] = record[3]
+                    row["rx_id"] = record[4]
+                rows.append((f"line {lineno}", row))
+
+        def _field(label: str, row: dict, name: str, convert, required=True):
+            if name not in row or row[name] is None:
+                if not required:
+                    return None
+                raise ConfigurationError(
+                    f"fault trace {path}, {label}: missing required field "
+                    f"{name!r} (have {sorted(row)})"
+                )
+            value = row[name]
+            try:
+                return convert(value)
+            except (TypeError, ValueError):
+                raise ConfigurationError(
+                    f"fault trace {path}, {label}: field {name!r} must be "
+                    f"{'an integer' if convert is int else 'a number'}, "
+                    f"got {value!r}"
+                ) from None
+
         episodes: List[Episode] = []
-        for row in rows:
+        for label, row in rows:
             episode = LossEpisode(
-                start_us=float(row["start_us"]),
-                duration_us=float(row["duration_us"]),
-                loss_rate=float(row["loss_rate"]),
-                tx_id=row.get("tx_id"),
-                rx_id=row.get("rx_id"),
+                start_us=_field(label, row, "start_us", float),
+                duration_us=_field(label, row, "duration_us", float),
+                loss_rate=_field(label, row, "loss_rate", float),
+                tx_id=_field(label, row, "tx_id", int, required=False),
+                rx_id=_field(label, row, "rx_id", int, required=False),
             )
             if episode.duration_us <= 0:
                 raise ConfigurationError(
-                    f"trace episode at {episode.start_us} us has non-positive duration"
+                    f"fault trace {path}, {label}: non-positive duration "
+                    f"{episode.duration_us}"
                 )
             if not 0.0 <= episode.loss_rate <= 1.0:
                 raise ConfigurationError(
-                    f"trace episode at {episode.start_us} us has loss rate "
+                    f"fault trace {path}, {label}: loss rate "
                     f"{episode.loss_rate} outside [0, 1]"
                 )
             episodes.append(episode)

@@ -1,0 +1,624 @@
+"""Durable SQLite-backed results store for sweep cells.
+
+:class:`ResultsStore` replaces the flat-directory JSON
+:class:`~repro.sim.sweep.SweepCache` as the default persistence layer of
+:func:`~repro.sim.sweep.run_sweep`.  It keeps the cache's contract --
+cells keyed by the existing ``(scenario, protocol, run seed, config,
+schema version)`` digest, ``load``/``store`` returning and accepting
+:class:`~repro.sim.metrics.NetworkMetrics`, unreadable state treated as
+a miss -- and adds what a pile of JSON files cannot provide:
+
+* **durability**: one WAL-mode SQLite database, written in short atomic
+  transactions, so a crashed or killed sweep process can never leave a
+  torn cell (SQLite's journal guarantees a reader sees the last
+  committed row);
+* **a cell state machine**: every cell of a sweep is a row that moves
+  ``pending -> running -> done`` (or ``failed``), which is what makes a
+  sweep *resumable* -- a re-invocation sees exactly which cells still
+  need computing;
+* **sweep manifests**: :meth:`begin_sweep` records the full grid
+  (scenario, fingerprint, protocols, seeds, config) up front under a
+  manifest digest, so ``--resume`` can verify it is continuing the same
+  sweep and ``repro results`` can enumerate past sweeps;
+* **queries across sweeps**: cells carry their coordinates (scenario,
+  protocol, run, run seed, config digest) as indexed columns, so the
+  store answers "all done n+ cells on dense-lan-50" without touching
+  the metrics payloads.
+
+Legacy JSON caches migrate in one shot: opening a store in a directory
+that still holds ``<cell key>.json`` files imports every readable entry
+under its original key (the key scheme is unchanged, so migrated cells
+replay exactly where the JSON files would have) and records the
+migration in the store's meta table.  The JSON files are left in place
+untouched.
+
+Concurrency model: only the sweep *parent* process touches the store
+(workers ship metrics back over pipes), so a single connection per
+store suffices; WAL mode plus a generous busy timeout make concurrent
+sweeps sharing one cache directory safe, if serialised at commit time.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import ConfigurationError
+from repro.sim.metrics import NetworkMetrics
+
+__all__ = [
+    "ResultsStore",
+    "CellRecord",
+    "SweepRecord",
+    "STORE_FILENAME",
+    "STORE_SCHEMA_VERSION",
+    "CELL_STATES",
+]
+
+#: Filename of the database inside a cache directory.
+STORE_FILENAME = "results.sqlite"
+
+#: Version of the store's *table layout* (independent of the cell-key
+#: schema version, which lives in :mod:`repro.sim.sweep` and is part of
+#: every cell key).  An on-disk store with a newer layout than this
+#: build understands is refused rather than guessed at.
+STORE_SCHEMA_VERSION = 1
+
+#: The cell state machine: manifest rows start ``pending``, move to
+#: ``running`` when shipped to a worker, and finish ``done`` (metrics
+#: attached) or ``failed`` (error attached).  An interrupted sweep's
+#: checkpoint resets ``running`` rows to ``pending`` so a resume
+#: recomputes exactly the unfinished cells.
+CELL_STATES = ("pending", "running", "done", "failed")
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS store_meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS sweeps (
+    sweep_id      TEXT PRIMARY KEY,
+    manifest_json TEXT NOT NULL,
+    status        TEXT NOT NULL CHECK (status IN ('running','interrupted','done')),
+    created_at    REAL NOT NULL,
+    updated_at    REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS cells (
+    key                  TEXT PRIMARY KEY,
+    status               TEXT NOT NULL CHECK (status IN ('pending','running','done','failed')),
+    scenario             TEXT,
+    scenario_fingerprint TEXT,
+    protocol             TEXT,
+    run                  INTEGER,
+    run_seed             INTEGER,
+    config_digest        TEXT,
+    sweep_id             TEXT,
+    metrics_json         TEXT,
+    error                TEXT,
+    updated_at           REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_cells_coords ON cells (scenario, protocol, status);
+CREATE INDEX IF NOT EXISTS idx_cells_sweep  ON cells (sweep_id, status);
+"""
+
+_DESCRIBE_COLUMNS = (
+    "scenario",
+    "scenario_fingerprint",
+    "protocol",
+    "run",
+    "run_seed",
+    "config_digest",
+)
+
+
+@dataclass(frozen=True)
+class CellRecord:
+    """One cell row, metrics left as the raw JSON payload (lazy parse)."""
+
+    key: str
+    status: str
+    scenario: Optional[str]
+    protocol: Optional[str]
+    run: Optional[int]
+    run_seed: Optional[int]
+    config_digest: Optional[str]
+    sweep_id: Optional[str]
+    error: Optional[str]
+    updated_at: float
+    metrics_json: Optional[str] = None
+
+    def metrics(self) -> Optional[NetworkMetrics]:
+        """Parse the stored metrics; ``None`` for non-``done`` cells."""
+        if self.metrics_json is None:
+            return None
+        try:
+            return NetworkMetrics.from_dict(json.loads(self.metrics_json))
+        except (ValueError, KeyError, TypeError):
+            return None
+
+
+@dataclass(frozen=True)
+class SweepRecord:
+    """One recorded sweep manifest plus its lifecycle status."""
+
+    sweep_id: str
+    manifest: dict
+    status: str
+    created_at: float
+    updated_at: float
+
+
+class ResultsStore:
+    """SQLite results store, drop-in behind the JSON cache's interface.
+
+    ``root`` is the cache directory (the database lives at
+    ``root/results.sqlite``, next to any legacy JSON cells) or a direct
+    path to a ``.sqlite``/``.db`` file.  Opening is self-healing: a
+    file SQLite refuses to read is set aside as ``*.corrupt.<pid>`` and
+    a fresh store is created -- mirroring the JSON cache's
+    corrupt-entry-as-miss policy at whole-store granularity.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        root = Path(root)
+        if root.suffix in (".sqlite", ".db"):
+            self.root = root.parent
+            self.path = root
+        else:
+            self.root = root
+            self.path = root / STORE_FILENAME
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._conn = self._open()
+        self._migrate_legacy_json()
+
+    # -- connection lifecycle ----------------------------------------------
+
+    def _open(self) -> sqlite3.Connection:
+        try:
+            return self._connect()
+        except sqlite3.DatabaseError:
+            # An unreadable database (torn beyond WAL recovery, or not
+            # SQLite at all) is set aside, not fatal: the cells it held
+            # become misses, exactly like a corrupt JSON entry did.
+            quarantine = self.path.with_suffix(f".corrupt.{os.getpid()}")
+            os.replace(self.path, quarantine)
+            for sidecar in (self.path.parent / (self.path.name + "-wal"),
+                            self.path.parent / (self.path.name + "-shm")):
+                sidecar.unlink(missing_ok=True)
+            return self._connect()
+
+    def _connect(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(self.path, timeout=30.0)
+        conn.row_factory = sqlite3.Row
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=NORMAL")
+        with conn:
+            conn.executescript(_SCHEMA)
+            row = conn.execute(
+                "SELECT value FROM store_meta WHERE key='store_schema'"
+            ).fetchone()
+            if row is None:
+                conn.execute(
+                    "INSERT INTO store_meta (key, value) VALUES ('store_schema', ?)",
+                    (str(STORE_SCHEMA_VERSION),),
+                )
+        # Raised outside the transaction block: inside it, closing the
+        # connection would make the context-manager exit raise a
+        # DatabaseError, which _open() would mistake for corruption and
+        # quarantine a perfectly healthy (just newer) store.
+        if row is not None and int(row["value"]) > STORE_SCHEMA_VERSION:
+            conn.close()
+            raise ConfigurationError(
+                f"results store {self.path} uses layout version {row['value']}, "
+                f"newer than this build's {STORE_SCHEMA_VERSION}; "
+                "upgrade the library or use a fresh cache directory"
+            )
+        return conn
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ResultsStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- legacy JSON migration ---------------------------------------------
+
+    def _migrate_legacy_json(self) -> None:
+        """One-shot import of a JSON :class:`SweepCache` directory.
+
+        Every readable ``<key>.json`` cell in the store's directory is
+        inserted as a ``done`` row under its original key -- the key
+        scheme is unchanged, so migrated cells hit exactly where the
+        JSON files would have.  Unreadable files are skipped (they were
+        misses before, they stay misses).  The migration runs once per
+        store (recorded in ``store_meta``); the JSON files are left in
+        place for the old code path and for inspection.
+        """
+        done = self._conn.execute(
+            "SELECT value FROM store_meta WHERE key='json_migration_done'"
+        ).fetchone()
+        if done is not None:
+            return
+        imported = 0
+        for entry in sorted(self.root.glob("*.json")):
+            key = entry.stem
+            if len(key) != 64 or any(c not in "0123456789abcdef" for c in key):
+                continue  # not a cell file
+            try:
+                payload = json.loads(entry.read_text())
+                metrics_json = json.dumps(payload["metrics"], sort_keys=True)
+                NetworkMetrics.from_dict(payload["metrics"])  # validate
+            except (OSError, ValueError, KeyError, TypeError):
+                continue
+            describe = payload.get("cell") or {}
+            if not isinstance(describe, dict):
+                describe = {}
+            self._upsert(
+                key,
+                status="done",
+                describe=describe,
+                metrics_json=metrics_json,
+                error=None,
+                keep_done=True,
+            )
+            imported += 1
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO store_meta (key, value) VALUES "
+                "('json_migration_done', ?)",
+                (json.dumps({"imported": imported, "at": time.time()}),),
+            )
+
+    # -- SweepCache-compatible interface -----------------------------------
+
+    def cell_key(
+        self,
+        scenario_key: str,
+        protocol,
+        run_seed: int,
+        config,
+        scenario_fingerprint: Optional[str] = None,
+    ) -> str:
+        """The cache key of one sweep cell (the digest scheme is shared
+        with -- and defined by -- :meth:`repro.sim.sweep.SweepCache.cell_key`)."""
+        from repro.sim.sweep import cell_key as _cell_key
+
+        return _cell_key(scenario_key, protocol, run_seed, config, scenario_fingerprint)
+
+    def load(self, key: str) -> Optional[NetworkMetrics]:
+        """The cached metrics for ``key``, or ``None`` on a miss.
+
+        Only ``done`` cells hit; ``pending``/``running``/``failed`` rows
+        (and unparseable payloads) are misses, so a previously failed or
+        interrupted cell is recomputed, never replayed.
+        """
+        try:
+            row = self._conn.execute(
+                "SELECT metrics_json FROM cells WHERE key=? AND status='done'",
+                (key,),
+            ).fetchone()
+        except sqlite3.DatabaseError:
+            return None
+        if row is None or row["metrics_json"] is None:
+            return None
+        try:
+            return NetworkMetrics.from_dict(json.loads(row["metrics_json"]))
+        except (ValueError, KeyError, TypeError):
+            return None
+
+    def load_many(self, keys: Sequence[str]) -> Dict[str, NetworkMetrics]:
+        """The cached metrics for every hit among ``keys``.
+
+        One batched ``SELECT`` instead of a round-trip per cell -- the
+        warm-replay fast path.  Misses (and unparseable payloads) are
+        simply absent from the returned mapping; the hit semantics are
+        exactly :meth:`load`'s.
+        """
+        hits: Dict[str, NetworkMetrics] = {}
+        chunk_size = 500  # stay well under SQLite's bound-variable limit
+        for start in range(0, len(keys), chunk_size):
+            chunk = list(keys[start : start + chunk_size])
+            placeholders = ",".join("?" * len(chunk))
+            try:
+                rows = self._conn.execute(
+                    f"SELECT key, metrics_json FROM cells WHERE status='done' "
+                    f"AND key IN ({placeholders})",
+                    chunk,
+                ).fetchall()
+            except sqlite3.DatabaseError:
+                continue
+            for row in rows:
+                if row["metrics_json"] is None:
+                    continue
+                try:
+                    hits[row["key"]] = NetworkMetrics.from_dict(
+                        json.loads(row["metrics_json"])
+                    )
+                except (ValueError, KeyError, TypeError):
+                    continue
+        return hits
+
+    def store(self, key: str, metrics: NetworkMetrics, describe: dict) -> None:
+        """Persist one finished cell atomically (upsert to ``done``)."""
+        self._upsert(
+            key,
+            status="done",
+            describe=describe,
+            metrics_json=json.dumps(metrics.to_dict(), sort_keys=True),
+            error=None,
+        )
+
+    def __len__(self) -> int:
+        """Finished cells in the store (parity with the JSON cache's
+        file count, which only ever held completed cells)."""
+        return self.count("done")
+
+    # -- cell state machine -------------------------------------------------
+
+    def _upsert(
+        self,
+        key: str,
+        status: str,
+        describe: dict,
+        metrics_json: Optional[str],
+        error: Optional[str],
+        sweep_id: Optional[str] = None,
+        keep_done: bool = False,
+    ) -> None:
+        values = {col: describe.get(col) for col in _DESCRIBE_COLUMNS}
+        clause = ""
+        if keep_done:
+            clause = " WHERE cells.status != 'done'"
+        with self._conn:
+            self._conn.execute(
+                "INSERT INTO cells (key, status, scenario, scenario_fingerprint, "
+                "protocol, run, run_seed, config_digest, sweep_id, metrics_json, "
+                "error, updated_at) VALUES (?,?,?,?,?,?,?,?,?,?,?,?) "
+                "ON CONFLICT(key) DO UPDATE SET status=excluded.status, "
+                "scenario=excluded.scenario, "
+                "scenario_fingerprint=excluded.scenario_fingerprint, "
+                "protocol=excluded.protocol, run=excluded.run, "
+                "run_seed=excluded.run_seed, config_digest=excluded.config_digest, "
+                "sweep_id=COALESCE(excluded.sweep_id, cells.sweep_id), "
+                "metrics_json=excluded.metrics_json, error=excluded.error, "
+                "updated_at=excluded.updated_at" + clause,
+                (
+                    key,
+                    status,
+                    values["scenario"],
+                    values["scenario_fingerprint"],
+                    values["protocol"],
+                    values["run"],
+                    values["run_seed"],
+                    values["config_digest"],
+                    sweep_id,
+                    metrics_json,
+                    error,
+                    time.time(),
+                ),
+            )
+
+    def mark_running(self, keys: Sequence[str]) -> None:
+        """Move cells to ``running`` (shipped to a worker)."""
+        now = time.time()
+        with self._conn:
+            self._conn.executemany(
+                "UPDATE cells SET status='running', updated_at=? WHERE key=?",
+                [(now, key) for key in keys],
+            )
+
+    def mark_pending(self, keys: Sequence[str]) -> None:
+        """Move cells back to ``pending`` (re-queued / checkpointed)."""
+        now = time.time()
+        with self._conn:
+            self._conn.executemany(
+                "UPDATE cells SET status='pending', updated_at=? WHERE key=?",
+                [(now, key) for key in keys],
+            )
+
+    def mark_failed(self, key: str, error: str, describe: dict) -> None:
+        """Record a cell whose computation failed after every retry."""
+        self._upsert(key, status="failed", describe=describe,
+                     metrics_json=None, error=error)
+
+    def count(self, status: Optional[str] = None) -> int:
+        """Number of cells, optionally restricted to one state."""
+        if status is None:
+            row = self._conn.execute("SELECT COUNT(*) AS n FROM cells").fetchone()
+        else:
+            row = self._conn.execute(
+                "SELECT COUNT(*) AS n FROM cells WHERE status=?", (status,)
+            ).fetchone()
+        return int(row["n"])
+
+    # -- sweep manifests / checkpointing ------------------------------------
+
+    def begin_sweep(
+        self,
+        sweep_id: str,
+        manifest: dict,
+        cells: Sequence[Tuple[str, dict]],
+    ) -> None:
+        """Record a sweep manifest and materialise its cell rows.
+
+        Every grid cell not yet in the store is inserted ``pending``;
+        cells that already exist keep their state (``done`` cells are
+        the resume/cache hits, ``failed`` cells will be retried once the
+        miss scan queues them).  Any ``running`` rows belonging to this
+        manifest are reset to ``pending`` -- they can only be leftovers
+        of a sweep process that died without checkpointing.
+        """
+        now = time.time()
+        with self._conn:
+            self._conn.execute(
+                "INSERT INTO sweeps (sweep_id, manifest_json, status, created_at, "
+                "updated_at) VALUES (?,?,?,?,?) "
+                "ON CONFLICT(sweep_id) DO UPDATE SET status='running', updated_at=?",
+                (sweep_id, json.dumps(manifest, sort_keys=True), "running", now,
+                 now, now),
+            )
+            self._conn.executemany(
+                "INSERT INTO cells (key, status, scenario, scenario_fingerprint, "
+                "protocol, run, run_seed, config_digest, sweep_id, metrics_json, "
+                "error, updated_at) VALUES (?,?,?,?,?,?,?,?,?,?,?,?) "
+                "ON CONFLICT(key) DO UPDATE SET sweep_id=excluded.sweep_id, "
+                "updated_at=excluded.updated_at",
+                [
+                    (
+                        key,
+                        "pending",
+                        describe.get("scenario"),
+                        describe.get("scenario_fingerprint"),
+                        describe.get("protocol"),
+                        describe.get("run"),
+                        describe.get("run_seed"),
+                        describe.get("config_digest"),
+                        sweep_id,
+                        None,
+                        None,
+                        now,
+                    )
+                    for key, describe in cells
+                ],
+            )
+            self._conn.execute(
+                "UPDATE cells SET status='pending', updated_at=? "
+                "WHERE sweep_id=? AND status='running'",
+                (now, sweep_id),
+            )
+
+    def checkpoint_sweep(self, sweep_id: str, status: str = "interrupted") -> None:
+        """Flush an interrupted sweep to a resumable state.
+
+        All of the manifest's ``running`` cells go back to ``pending``
+        (their workers are gone; the results were either stored already
+        or lost with the worker) and the sweep row records ``status``.
+        """
+        now = time.time()
+        with self._conn:
+            self._conn.execute(
+                "UPDATE cells SET status='pending', updated_at=? "
+                "WHERE sweep_id=? AND status='running'",
+                (now, sweep_id),
+            )
+            self._conn.execute(
+                "UPDATE sweeps SET status=?, updated_at=? WHERE sweep_id=?",
+                (status, now, sweep_id),
+            )
+
+    def finish_sweep(self, sweep_id: str) -> None:
+        """Mark a sweep's manifest complete."""
+        with self._conn:
+            self._conn.execute(
+                "UPDATE sweeps SET status='done', updated_at=? WHERE sweep_id=?",
+                (time.time(), sweep_id),
+            )
+
+    def get_sweep(self, sweep_id: str) -> Optional[SweepRecord]:
+        """The recorded manifest for ``sweep_id``, or ``None``."""
+        row = self._conn.execute(
+            "SELECT * FROM sweeps WHERE sweep_id=?", (sweep_id,)
+        ).fetchone()
+        if row is None:
+            return None
+        return SweepRecord(
+            sweep_id=row["sweep_id"],
+            manifest=json.loads(row["manifest_json"]),
+            status=row["status"],
+            created_at=row["created_at"],
+            updated_at=row["updated_at"],
+        )
+
+    def sweeps(self) -> List[SweepRecord]:
+        """All recorded sweep manifests, most recent first."""
+        rows = self._conn.execute(
+            "SELECT * FROM sweeps ORDER BY updated_at DESC"
+        ).fetchall()
+        return [
+            SweepRecord(
+                sweep_id=row["sweep_id"],
+                manifest=json.loads(row["manifest_json"]),
+                status=row["status"],
+                created_at=row["created_at"],
+                updated_at=row["updated_at"],
+            )
+            for row in rows
+        ]
+
+    # -- cross-sweep queries -------------------------------------------------
+
+    def query(
+        self,
+        scenario: Optional[str] = None,
+        protocol: Optional[str] = None,
+        status: Optional[str] = None,
+        sweep_id: Optional[str] = None,
+        with_metrics: bool = False,
+    ) -> List[CellRecord]:
+        """Cells matching the given coordinates, across all sweeps.
+
+        Filters compose with AND; ``with_metrics`` attaches the raw
+        metrics JSON (parse lazily via :meth:`CellRecord.metrics`).
+        Rows come back ordered by (scenario, protocol, run) so query
+        output -- and the ``repro results`` tables built from it -- is
+        deterministic.
+        """
+        clauses, params = [], []
+        for column, value in (
+            ("scenario", scenario),
+            ("protocol", protocol),
+            ("status", status),
+            ("sweep_id", sweep_id),
+        ):
+            if value is not None:
+                clauses.append(f"{column}=?")
+                params.append(value)
+        where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
+        columns = (
+            "key, status, scenario, scenario_fingerprint, protocol, run, "
+            "run_seed, config_digest, sweep_id, error, updated_at"
+        )
+        if with_metrics:
+            columns += ", metrics_json"
+        rows = self._conn.execute(
+            f"SELECT {columns} FROM cells{where} "
+            "ORDER BY scenario, protocol, run, key",
+            params,
+        ).fetchall()
+        return [
+            CellRecord(
+                key=row["key"],
+                status=row["status"],
+                scenario=row["scenario"],
+                protocol=row["protocol"],
+                run=row["run"],
+                run_seed=row["run_seed"],
+                config_digest=row["config_digest"],
+                sweep_id=row["sweep_id"],
+                error=row["error"],
+                updated_at=row["updated_at"],
+                metrics_json=row["metrics_json"] if with_metrics else None,
+            )
+            for row in rows
+        ]
+
+    def summary(self) -> Dict[Tuple[str, str], Dict[str, int]]:
+        """``{(scenario, protocol): {status: count}}`` across the store."""
+        rows = self._conn.execute(
+            "SELECT scenario, protocol, status, COUNT(*) AS n FROM cells "
+            "GROUP BY scenario, protocol, status "
+            "ORDER BY scenario, protocol, status"
+        ).fetchall()
+        out: Dict[Tuple[str, str], Dict[str, int]] = {}
+        for row in rows:
+            coords = (row["scenario"] or "?", row["protocol"] or "?")
+            out.setdefault(coords, {})[row["status"]] = int(row["n"])
+        return out

@@ -5,27 +5,39 @@ placements, each simulated under several MAC protocols.  The serial
 :func:`~repro.sim.runner.run_many` loop computes the ``n_runs x
 n_protocols`` grid one cell at a time; this module computes the same grid
 
-* **in parallel**, fanning *run-level tasks* out over a pool of worker
+* **in parallel**, fanning *run-level tasks* out over supervised worker
   processes -- one task per placement, covering every protocol that
   missed the cache, so each run's network is drawn exactly **once** and
   shared by all protocols simulated on it (just like the serial
   ``run_many`` loop).  Only when more workers than uncached runs are
   available does a run's protocol list split into chunks (each still
-  sharing one draw), trading a few extra draws for full concurrency, and
-* **incrementally**, memoising every cell in an on-disk results cache
-  keyed by ``(scenario, protocol, run seed, config hash)`` so repeated
-  figure invocations only recompute what actually changed.
+  sharing one draw), trading a few extra draws for full concurrency;
+* **incrementally**, memoising every cell in a durable on-disk results
+  store (:class:`~repro.sim.store.ResultsStore`, WAL-mode SQLite) keyed
+  by ``(scenario, protocol, run seed, config hash)`` so repeated figure
+  invocations only recompute what actually changed; and
+* **durably**: with a cache directory, every sweep records a *manifest*
+  (grid, digests, seeds, config) up front and tracks each cell through
+  ``pending -> running -> done/failed``, so a sweep killed mid-run --
+  SIGINT, SIGTERM, OOM, reboot -- checkpoints (or is trivially
+  reconstructible from committed cell states) and a re-invocation with
+  ``resume=True`` completes exactly the unfinished cells.  The worker
+  pool is supervised (:mod:`repro.sim.supervisor`): heartbeats tell
+  hung workers from slow cells, silently-killed workers (OOM) are
+  detected and replaced with the affected cells re-queued, and repeated
+  deaths shrink the pool instead of failing the sweep.
 
-Both are possible because every cell is a pure function of its seeds:
-run ``r`` draws placements/channels from ``seed + 1000 * r`` and each
-protocol simulation runs with its own seeded RNG streams (including the
-channel-estimation stream, see
+All of this is possible because every cell is a pure function of its
+seeds: run ``r`` draws placements/channels from ``seed + 1000 * r`` and
+each protocol simulation runs with its own seeded RNG streams (including
+the channel-estimation stream, see
 :meth:`~repro.sim.network.Network.reseed_estimation_noise`).  A parallel
-sweep is therefore **byte-identical** to a serial one for a fixed seed --
-the test suite asserts it -- and cached cells are interchangeable with
-freshly computed ones.  Caching stays **cell-level** (per protocol) even
-though work ships run-level: a task recomputes only the protocols whose
-cells actually missed.
+sweep is therefore **byte-identical** to a serial one for a fixed seed,
+a resumed sweep is byte-identical to an uninterrupted one -- the test
+suite asserts both -- and cached cells are interchangeable with freshly
+computed ones.  Caching stays **cell-level** (per protocol) even though
+work ships run-level: a task recomputes only the protocols whose cells
+actually missed.
 
 Typical use::
 
@@ -37,10 +49,17 @@ Typical use::
     )
     result.results["n+"][0].total_throughput_mbps()
 
+    # After an interruption (Ctrl-C, kill, crash): same call + resume=True
+    run_sweep("three-pair", ["802.11n", "n+"], n_runs=50,
+              seed=0, workers=4, cache_dir=".sweep-cache", resume=True)
+
 Scenarios are usually referred to by registry name
 (:func:`repro.sim.scenarios.register_scenario`), which doubles as the
 cache key; passing a bare callable still works but only caches when an
-explicit ``scenario_key`` is supplied.
+explicit ``scenario_key`` is supplied.  Legacy per-cell JSON caches
+(the pre-store :class:`SweepCache` layout) migrate into the store
+automatically the first time their directory is opened; pass
+``cache_backend="json"`` to keep using the flat-file cache instead.
 """
 
 from __future__ import annotations
@@ -48,8 +67,9 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
-import multiprocessing
 import os
+import signal
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -68,14 +88,28 @@ from repro.sim.runner import (
     run_simulation,
 )
 from repro.sim.scenarios import Scenario, scenario_factory
+from repro.sim.store import ResultsStore
+from repro.sim.supervisor import (
+    PoolShrunk,
+    TaskAssigned,
+    TaskDone,
+    TaskFailed,
+    TaskRequeued,
+    TaskRetry,
+    WorkerDeath,
+    WorkerSupervisor,
+)
 
 __all__ = [
     "FailedCell",
     "SweepResult",
     "SweepCache",
+    "ResultsStore",
     "run_sweep",
+    "cell_key",
     "config_digest",
     "scenario_digest",
+    "sweep_manifest_digest",
     "default_workers",
 ]
 
@@ -117,6 +151,9 @@ __all__ = [
 #:    the ``recovered_bits`` counter, and replaying a v5 cell into a
 #:    parameterised grid would silently alias specs the v5 payload never
 #:    distinguished.
+#: (The SQLite results store did NOT bump the schema: cell keys and
+#: metrics payloads are unchanged, which is exactly what lets a legacy
+#: v6 JSON cache migrate into the store and keep hitting.)
 CACHE_SCHEMA_VERSION = 6
 
 
@@ -214,8 +251,71 @@ def _scenario_fault_payload(scenario: Scenario) -> Optional[dict]:
     return {"name": name, "params": dataclasses.asdict(fault_profile(name))}
 
 
+def cell_key(
+    scenario_key: str,
+    protocol: ProtocolLike,
+    run_seed: int,
+    config: SimulationConfig,
+    scenario_fingerprint: Optional[str] = None,
+) -> str:
+    """The cache key of one sweep cell -- shared by every backend.
+
+    ``scenario_fingerprint`` (see :func:`scenario_digest`) ties the key
+    to the scenario's structure, not just its registry name.
+    ``protocol`` is canonicalised through
+    :func:`~repro.mac.variants.resolve_protocol` first, so a bare name
+    and its default-parameter spec produce the *same* key (pre-framework
+    call sites and spec-based ones share cells) while any non-default
+    parameter lands in the key as part of the ``name[param=value,...]``
+    coordinate.  The module-global :data:`CACHE_SCHEMA_VERSION` is part
+    of the payload, so cells written under an older schema are missed,
+    never replayed.
+    """
+    payload = json.dumps(
+        {
+            "schema": CACHE_SCHEMA_VERSION,
+            "scenario": scenario_key,
+            "scenario_fingerprint": scenario_fingerprint,
+            "protocol": resolve_protocol(protocol).key,
+            "run_seed": run_seed,
+            "config": dataclasses.asdict(config),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def sweep_manifest_digest(manifest: dict) -> str:
+    """Stable hex digest identifying one sweep's full grid.
+
+    The manifest covers everything that defines the sweep -- scenario
+    key and structural fingerprint, the ordered protocol specs, run
+    count, base seed, config -- so two invocations with the same digest
+    are by construction computing the same cells, which is what makes
+    ``resume=True`` safe to assert against.
+    """
+    payload = json.dumps(manifest, sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
 def default_workers() -> int:
-    """Worker count used when ``workers`` is not given: the usable cores."""
+    """Worker count used when ``workers`` is not given.
+
+    Honors the ``REPRO_WORKERS`` environment variable first (the
+    operator's explicit ceiling, e.g. for a shared box or a CI
+    container), then the scheduler affinity mask
+    (``os.sched_getaffinity`` -- the cores this process may actually
+    use, which on a CPU-limited container is less than the machine's
+    core count), then the raw CPU count as a last resort.
+    """
+    override = os.environ.get("REPRO_WORKERS")
+    if override is not None and override.strip():
+        try:
+            return max(1, int(override))
+        except ValueError:
+            raise ConfigurationError(
+                f"REPRO_WORKERS must be an integer, got {override!r}"
+            ) from None
     try:
         return max(1, len(os.sched_getaffinity(0)))
     except AttributeError:  # pragma: no cover - non-Linux fallback
@@ -223,7 +323,13 @@ def default_workers() -> int:
 
 
 class SweepCache:
-    """On-disk memo of simulated cells, one JSON file per cell.
+    """Legacy on-disk memo of simulated cells, one JSON file per cell.
+
+    Superseded by the SQLite :class:`~repro.sim.store.ResultsStore`
+    (the default ``run_sweep`` backend), which migrates a directory of
+    these files automatically on first open; kept for the
+    ``cache_backend="json"`` escape hatch and as the reference layout
+    the migration reads.
 
     A cell is one ``(scenario, protocol, run seed, config)`` simulation;
     its key is a SHA-256 over those coordinates plus a schema version.
@@ -244,29 +350,8 @@ class SweepCache:
         config: SimulationConfig,
         scenario_fingerprint: Optional[str] = None,
     ) -> str:
-        """The cache key of one sweep cell.
-
-        ``scenario_fingerprint`` (see :func:`scenario_digest`) ties the
-        key to the scenario's structure, not just its registry name.
-        ``protocol`` is canonicalised through
-        :func:`~repro.mac.variants.resolve_protocol` first, so a bare
-        name and its default-parameter spec produce the *same* key
-        (pre-framework call sites and spec-based ones share cells) while
-        any non-default parameter lands in the key as part of the
-        ``name[param=value,...]`` coordinate.
-        """
-        payload = json.dumps(
-            {
-                "schema": CACHE_SCHEMA_VERSION,
-                "scenario": scenario_key,
-                "scenario_fingerprint": scenario_fingerprint,
-                "protocol": resolve_protocol(protocol).key,
-                "run_seed": run_seed,
-                "config": dataclasses.asdict(config),
-            },
-            sort_keys=True,
-        )
-        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+        """The cache key of one sweep cell (see :func:`cell_key`)."""
+        return cell_key(scenario_key, protocol, run_seed, config, scenario_fingerprint)
 
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.json"
@@ -338,6 +423,13 @@ class SweepResult:
         The cells that still failed after retries, as
         :class:`FailedCell` records (empty for a clean sweep; always
         empty under ``strict=True``, which raises instead).
+    worker_deaths:
+        Workers lost and replaced during the sweep (OOM kills, hangs;
+        deliberate slow-cell timeout kills included).  ``0`` on a
+        healthy machine.
+    sweep_id:
+        Manifest digest recorded in the results store (``None`` when
+        run without a cache directory or on the JSON backend).
     """
 
     results: Dict[str, List[Optional[NetworkMetrics]]] = field(default_factory=dict)
@@ -345,6 +437,8 @@ class SweepResult:
     cache_misses: int = 0
     workers: int = 1
     failures: List[FailedCell] = field(default_factory=list)
+    worker_deaths: int = 0
+    sweep_id: Optional[str] = None
 
     @property
     def n_runs(self) -> int:
@@ -420,6 +514,26 @@ def _simulate_run(args: Tuple) -> List[NetworkMetrics]:
     ]
 
 
+def _open_cache(
+    cache_dir: Union[str, Path], backend: str
+) -> Union[ResultsStore, SweepCache]:
+    if backend == "sqlite":
+        return ResultsStore(cache_dir)
+    if backend == "json":
+        return SweepCache(cache_dir)
+    raise ConfigurationError(
+        f"unknown cache_backend {backend!r} (expected 'sqlite' or 'json')"
+    )
+
+
+class _InterruptRequested(KeyboardInterrupt):
+    """Raised by the sweep's signal handlers to unwind to the checkpoint."""
+
+    def __init__(self, signum: int) -> None:
+        super().__init__(signum)
+        self.signum = signum
+
+
 def run_sweep(
     scenario: Union[str, Callable[[], Scenario]],
     protocols: Sequence[ProtocolLike],
@@ -433,14 +547,20 @@ def run_sweep(
     cell_timeout_s: Optional[float] = None,
     max_retries: int = 1,
     retry_backoff_s: float = 0.5,
+    resume: bool = False,
+    cache_backend: str = "sqlite",
+    hang_timeout_s: float = 30.0,
+    max_worker_requeues: int = 3,
+    shrink_after_deaths: int = 3,
 ) -> SweepResult:
-    """Sweep ``n_runs`` placements x ``protocols``, in parallel and cached.
+    """Sweep ``n_runs`` placements x ``protocols`` -- parallel, cached, durable.
 
     Byte-identical to :func:`repro.sim.runner.run_many` with the same
     ``(scenario, protocols, n_runs, seed, config)`` -- regardless of
-    worker count, cell execution order, or whether cells were replayed
-    from the cache.  Retried tasks cannot perturb results either: every
-    cell is a pure function of its seeds, so a retry recomputes the
+    worker count, cell execution order, whether cells were replayed
+    from the cache, or whether the sweep was interrupted and resumed.
+    Retried and re-queued tasks cannot perturb results either: every
+    cell is a pure function of its seeds, so a replay recomputes the
     identical metrics.
 
     Parameters
@@ -475,14 +595,18 @@ def run_sweep(
         protocols are swept (when more workers than uncached runs are
         available, a run's protocols chunk across workers, each chunk
         drawing once).  ``1`` (default) simulates in-process; ``None``
-        uses every usable core (:func:`default_workers`).
-        Worker processes must be able to import :mod:`repro`, and
-        callables passed as ``scenario`` must be picklable (module-level
-        functions and :func:`functools.partial` of them are).
+        uses :func:`default_workers` (the ``REPRO_WORKERS`` override,
+        else the usable cores).  Worker processes must be able to import
+        :mod:`repro`, and callables passed as ``scenario`` must be
+        picklable (module-level functions and :func:`functools.partial`
+        of them are).
     cache_dir:
-        Directory of the on-disk results cache; ``None`` disables
-        caching.  Entries are invalidated by any change to the scenario
-        name, protocol, seed or config.
+        Directory of the durable on-disk results store; ``None`` disables
+        caching (and checkpointing).  Entries are invalidated by any
+        change to the scenario name/structure, protocol, seed or config.
+        A directory holding a legacy JSON cell cache is migrated into
+        the store automatically (one shot; the JSON files are left in
+        place).
     scenario_key:
         Cache key override, required to cache a bare-callable
         ``scenario``.
@@ -494,26 +618,67 @@ def run_sweep(
         raise-on-failure (:class:`~repro.exceptions.SimulationError`).
     cell_timeout_s:
         Per-task timeout in seconds for the parallel path (``None``
-        disables).  A timed-out task counts as a failed attempt and is
-        retried; note the abandoned worker keeps running to completion
-        in the background (``multiprocessing`` cannot safely interrupt
-        it), so the pool temporarily runs one effective worker short.
-        Ignored in-process (``workers=1``), where a timeout cannot be
-        enforced without a second process.
+        disables).  A timed-out task's worker is killed (not abandoned)
+        and replaced; the task counts a failed attempt and is retried.
+        Heartbeats keep a merely *slow* cell distinguishable from a
+        *hung* worker -- see ``hang_timeout_s``.  Ignored in-process
+        (``workers=1``), where a timeout cannot be enforced without a
+        second process.
     max_retries:
         How many times a failed/timed-out task is retried before its
         cells are declared failed.  Retries are deterministic replays
         (same payload, same seeds), so they only help against transient
         causes -- OOM kills, timeouts on a loaded machine.
     retry_backoff_s:
-        Base of the exponential backoff slept before retry ``k``
-        (``retry_backoff_s * 2**k`` seconds); ``0`` disables sleeping
-        (used by the tests).
+        Base of the exponential backoff before retry ``k``
+        (``retry_backoff_s * 2**k`` seconds); ``0`` disables it.  Never
+        slept after the final failed attempt (no retry follows), and on
+        the parallel path it is non-blocking (a not-before time, so
+        other tasks keep flowing).
+    resume:
+        ``True`` requires a ``cache_dir`` (SQLite backend) holding a
+        checkpoint for this exact manifest -- same scenario structure,
+        protocols, ``n_runs``, ``seed`` and config -- and completes the
+        cells that are not ``done`` yet.  Raises
+        :class:`~repro.exceptions.ConfigurationError` when no such
+        manifest was ever recorded (a typo'd grid resumes nothing).
+        The result is byte-identical to running the sweep uninterrupted.
+    cache_backend:
+        ``"sqlite"`` (default): the durable
+        :class:`~repro.sim.store.ResultsStore` with manifests,
+        checkpointing and cross-sweep queries.  ``"json"``: the legacy
+        flat-directory :class:`SweepCache` (no manifests, no resume).
+    hang_timeout_s:
+        A busy worker whose heartbeat goes stale this long is declared
+        hung (SIGSTOP, deadlock -- distinct from a slow cell, which
+        keeps heartbeating), killed, and replaced; the cell is
+        re-queued.
+    max_worker_requeues:
+        Worker deaths tolerated per task before its cells fail -- the
+        bound that stops a cell which reproducibly OOMs its worker from
+        re-queueing forever.
+    shrink_after_deaths:
+        Graceful degradation: every this-many unexpected worker deaths
+        permanently shrinks the pool by one worker (never below one),
+        so a memory-starved machine converges to sustainable
+        parallelism instead of failing the sweep.
+
+    Durability
+    ----------
+    With a cache directory, the sweep records its manifest up front and
+    drives every cell through ``pending -> running -> done/failed`` in
+    the store.  SIGINT/SIGTERM are caught (main thread only): in-flight
+    completed results are flushed, running cells are checkpointed back
+    to ``pending``, the manifest is marked ``interrupted``, and the
+    signal's default behaviour then proceeds (KeyboardInterrupt /
+    termination).  ``resume=True`` -- or ``repro sweep --resume`` --
+    picks the sweep up exactly where it stopped.
 
     Returns
     -------
     SweepResult
-        Metrics grid plus cache-hit and failed-cell accounting.
+        Metrics grid plus cache-hit, failed-cell and worker-death
+        accounting.
     """
     config = config or SimulationConfig()
     factory, key = _resolve_scenario(scenario, scenario_key)
@@ -533,20 +698,87 @@ def run_sweep(
     if n_runs < 1:
         raise ConfigurationError("need at least one run to sweep")
 
-    cache = None
+    cache: Optional[Union[ResultsStore, SweepCache]] = None
+    store: Optional[ResultsStore] = None
     fingerprint = None
     if cache_dir is not None:
         if key is None:
             raise ConfigurationError(
                 "caching a factory scenario needs an explicit scenario_key"
             )
-        cache = SweepCache(cache_dir)
+        cache = _open_cache(cache_dir, cache_backend)
+        if isinstance(cache, ResultsStore):
+            store = cache
         # Tie keys to the scenario's structure, not just its name, so an
         # edited scenario definition cannot replay stale cells.
         fingerprint = scenario_digest(factory())
+    if resume and store is None:
+        raise ConfigurationError(
+            "resume=True needs a cache_dir with the SQLite results store "
+            "(cache_backend='sqlite'); the store holds the checkpoint to resume"
+        )
+
+    # Each cell's key is needed more than once (grid registration, hit
+    # scan, result recording) and hashing the config dataclass dominates
+    # a warm replay, so keys are memoised for the duration of this call
+    # (the config cannot change under us) and the constant config digest
+    # is computed once.
+    _keys: Dict[Tuple[str, int], str] = {}
 
     def _cell_key(spec: ProtocolSpec, run_seed: int) -> str:
-        return cache.cell_key(key, spec, run_seed, config, fingerprint)
+        coord = (spec.key, run_seed)
+        if coord not in _keys:
+            _keys[coord] = cell_key(key, spec, run_seed, config, fingerprint)
+        return _keys[coord]
+
+    config_fingerprint = config_digest(config) if cache is not None else None
+
+    def _describe(spec: ProtocolSpec, run: int, run_seed: int) -> dict:
+        return {
+            "scenario": key,
+            "scenario_fingerprint": fingerprint,
+            "protocol": spec.key,
+            "protocol_params": spec.resolved_params(),
+            "run": run,
+            "run_seed": run_seed,
+            "config_digest": config_fingerprint,
+        }
+
+    # -- manifest / checkpoint bookkeeping ---------------------------------
+    sweep_id = None
+    if store is not None:
+        manifest = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "scenario": key,
+            "scenario_fingerprint": fingerprint,
+            "protocols": [spec.key for spec in specs],
+            "n_runs": n_runs,
+            "seed": seed,
+            "config": dataclasses.asdict(config),
+        }
+        sweep_id = sweep_manifest_digest(manifest)
+        if resume and store.get_sweep(sweep_id) is None:
+            raise ConfigurationError(
+                f"nothing to resume: no checkpoint for this sweep manifest "
+                f"(sweep_id {sweep_id[:12]}...) in {cache_dir}; run without "
+                "resume=True to start it, or check that scenario/protocols/"
+                "n_runs/seed/config match the interrupted invocation exactly"
+            )
+        # Record the full grid up front: every cell exists as a row
+        # before any work starts, so an interruption at *any* point
+        # leaves a store that knows exactly what remains.
+        store.begin_sweep(
+            sweep_id,
+            manifest,
+            cells=[
+                (
+                    _cell_key(spec, placement_seed(seed, run)),
+                    _describe(spec, run, placement_seed(seed, run)),
+                )
+                for run in range(n_runs)
+                for spec in specs
+            ],
+        )
 
     grid: Dict[str, List[Optional[NetworkMetrics]]] = {
         spec.key: [None] * n_runs for spec in specs
@@ -554,6 +786,17 @@ def run_sweep(
     # One pending task per run, listing the protocol specs whose cells
     # missed the cache: the unit of work shipped to a worker.  Specs keep
     # their sweep order inside each task so results are reproducible.
+    # Against the store the whole grid is prefetched in one batched
+    # SELECT rather than a query per cell.
+    preloaded: Dict[str, NetworkMetrics] = {}
+    if store is not None:
+        preloaded = store.load_many(
+            [
+                _cell_key(spec, placement_seed(seed, run))
+                for run in range(n_runs)
+                for spec in specs
+            ]
+        )
     pending: List[Tuple[int, int, List[ProtocolSpec]]] = []  # (run, run_seed, specs)
     misses = 0
     hits = 0
@@ -562,7 +805,10 @@ def run_sweep(
         missing: List[ProtocolSpec] = []
         for spec in specs:
             if cache is not None:
-                cached = cache.load(_cell_key(spec, run_seed))
+                if store is not None:
+                    cached = preloaded.get(_cell_key(spec, run_seed))
+                else:
+                    cached = cache.load(_cell_key(spec, run_seed))
                 if cached is not None:
                     grid[spec.key][run] = cached
                     hits += 1
@@ -580,17 +826,7 @@ def run_sweep(
             # Stored as soon as each task completes, so an interrupted or
             # partially failed sweep keeps every finished cell.
             cache.store(
-                _cell_key(spec, run_seed),
-                metrics,
-                describe={
-                    "scenario": key,
-                    "scenario_fingerprint": fingerprint,
-                    "protocol": spec.key,
-                    "protocol_params": spec.resolved_params(),
-                    "run": run,
-                    "run_seed": run_seed,
-                    "config_digest": config_digest(config),
-                },
+                _cell_key(spec, run_seed), metrics, describe=_describe(spec, run, run_seed)
             )
 
     failures: List[FailedCell] = []
@@ -608,83 +844,143 @@ def run_sweep(
             failures.append(
                 FailedCell(protocol=spec.key, run=run, run_seed=run_seed, error=error)
             )
+            if store is not None:
+                store.mark_failed(
+                    _cell_key(spec, run_seed), error, _describe(spec, run, run_seed)
+                )
 
     def _backoff(attempt: int) -> None:
+        """Sleep the exponential backoff before retry ``attempt + 1``.
+
+        Only ever called when a retry will actually follow -- the final
+        failed attempt fails the cell immediately, without paying the
+        (by then pointless) delay.
+        """
         if retry_backoff_s > 0:
             time.sleep(retry_backoff_s * (2**attempt))
 
-    if pending:
-        n_requested = default_workers() if workers is None else max(1, int(workers))
-        # One task normally covers all of a run's uncached protocols, so
-        # the run's network is drawn once.  When more workers than
-        # uncached runs are available, each run's protocol list is
-        # chunked so the extra workers stay busy -- every chunk still
-        # shares one network draw across its protocols, so the build
-        # count only grows as far as the concurrency actually used.
-        per_task = max(1, -(-misses // n_requested))  # ceil division
-        tasks: List[Tuple[int, int, List[ProtocolSpec]]] = []
-        for run, run_seed, missing in pending:
-            for start in range(0, len(missing), per_task):
-                tasks.append((run, run_seed, missing[start : start + per_task]))
-        n_workers = min(n_requested, len(tasks))
-        payloads = [
-            (factory, list(missing), run_seed, config) for _, run_seed, missing in tasks
-        ]
-        if n_workers > 1:
-            # fork keeps the already-imported repro modules; fall back to
-            # spawn where fork is unavailable (e.g. macOS default policies).
-            methods = multiprocessing.get_all_start_methods()
-            ctx = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
-            with ctx.Pool(processes=n_workers) as pool:
-                # All tasks are submitted up front (apply_async, one
-                # handle each) so the pool stays saturated; results are
-                # then collected task by task, which is where the
-                # per-task timeout and bounded retry live.  Collection
-                # order is submission order, so results -- and cache
-                # writes -- land deterministically.
-                handles = [
-                    pool.apply_async(_simulate_run, (payload,)) for payload in payloads
-                ]
-                for (run, run_seed, missing), payload, handle in zip(
-                    tasks, payloads, handles
-                ):
+    n_workers = 1
+    worker_deaths = 0
+    interrupted: Dict[str, Optional[int]] = {"signum": None}
+
+    def _handler(signum, frame):
+        interrupted["signum"] = signum
+        raise _InterruptRequested(signum)
+
+    # Checkpointable sweeps catch SIGINT/SIGTERM so an interruption
+    # flushes finished cells and records a resumable state first; the
+    # signal's default behaviour proceeds afterwards.  Signal handlers
+    # only work in the main thread; elsewhere the sweep simply runs
+    # without them.
+    handle_signals = (
+        store is not None
+        and pending
+        and threading.current_thread() is threading.main_thread()
+    )
+    previous_handlers = {}
+    if handle_signals:
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            previous_handlers[signum] = signal.signal(signum, _handler)
+
+    try:
+        if pending:
+            n_requested = default_workers() if workers is None else max(1, int(workers))
+            # One task normally covers all of a run's uncached protocols, so
+            # the run's network is drawn once.  When more workers than
+            # uncached runs are available, each run's protocol list is
+            # chunked so the extra workers stay busy -- every chunk still
+            # shares one network draw across its protocols, so the build
+            # count only grows as far as the concurrency actually used.
+            per_task = max(1, -(-misses // n_requested))  # ceil division
+            tasks: List[Tuple[int, int, List[ProtocolSpec]]] = []
+            for run, run_seed, missing in pending:
+                for start in range(0, len(missing), per_task):
+                    tasks.append((run, run_seed, missing[start : start + per_task]))
+            n_workers = min(n_requested, len(tasks))
+            payloads = [
+                (factory, list(missing), run_seed, config)
+                for _, run_seed, missing in tasks
+            ]
+            if n_workers > 1:
+                supervisor = WorkerSupervisor(
+                    _simulate_run,
+                    payloads,
+                    workers=n_workers,
+                    task_timeout_s=cell_timeout_s,
+                    max_retries=max_retries,
+                    retry_backoff_s=retry_backoff_s,
+                    hang_timeout_s=hang_timeout_s,
+                    max_requeues=max_worker_requeues,
+                    shrink_after_deaths=shrink_after_deaths,
+                )
+                events = supervisor.events()
+                try:
+                    for event in events:
+                        if isinstance(event, TaskAssigned):
+                            run, run_seed, missing = tasks[event.task_id]
+                            if store is not None:
+                                store.mark_running(
+                                    [_cell_key(spec, run_seed) for spec in missing]
+                                )
+                        elif isinstance(event, TaskDone):
+                            run, run_seed, missing = tasks[event.task_id]
+                            for spec, metrics in zip(missing, event.result):
+                                _record(run, run_seed, spec, metrics)
+                        elif isinstance(event, TaskFailed):
+                            run, run_seed, missing = tasks[event.task_id]
+                            _fail(run, run_seed, missing, event.error)
+                        elif isinstance(event, WorkerDeath):
+                            worker_deaths += 1
+                        # TaskRetry / TaskRequeued / PoolShrunk need no
+                        # bookkeeping here: the cells stay `running` until
+                        # they settle, and the supervisor owns pool size.
+                finally:
+                    events.close()  # tears the worker pool down
+            else:
+                for (run, run_seed, missing), payload in zip(tasks, payloads):
                     metrics_list = None
                     error = "unknown error"
+                    if store is not None:
+                        store.mark_running(
+                            [_cell_key(spec, run_seed) for spec in missing]
+                        )
                     for attempt in range(max_retries + 1):
                         try:
-                            metrics_list = handle.get(cell_timeout_s)
+                            metrics_list = _simulate_run(payload)
                             break
-                        except multiprocessing.TimeoutError:
-                            error = f"timed out after {cell_timeout_s} s"
-                        except Exception as exc:  # worker raised
+                        except _InterruptRequested:
+                            raise
+                        except Exception as exc:
                             error = f"{type(exc).__name__}: {exc}"
-                        if attempt < max_retries:
-                            _backoff(attempt)
-                            handle = pool.apply_async(_simulate_run, (payload,))
+                            if attempt < max_retries:
+                                _backoff(attempt)
                     if metrics_list is None:
                         _fail(run, run_seed, missing, error)
                         continue
                     for spec, metrics in zip(missing, metrics_list):
                         _record(run, run_seed, spec, metrics)
-        else:
-            for (run, run_seed, missing), payload in zip(tasks, payloads):
-                metrics_list = None
-                error = "unknown error"
-                for attempt in range(max_retries + 1):
-                    try:
-                        metrics_list = _simulate_run(payload)
-                        break
-                    except Exception as exc:
-                        error = f"{type(exc).__name__}: {exc}"
-                        if attempt < max_retries:
-                            _backoff(attempt)
-                if metrics_list is None:
-                    _fail(run, run_seed, missing, error)
-                    continue
-                for spec, metrics in zip(missing, metrics_list):
-                    _record(run, run_seed, spec, metrics)
-    else:
-        n_workers = 1
+        if store is not None and sweep_id is not None:
+            store.finish_sweep(sweep_id)
+    except KeyboardInterrupt:
+        # Includes _InterruptRequested from our handlers and a plain
+        # Ctrl-C KeyboardInterrupt raised while no handler was installed
+        # mid-cell: flush what finished (already stored cell by cell),
+        # checkpoint running cells back to pending, mark the manifest
+        # interrupted -- then let the signal's behaviour proceed.
+        if store is not None and sweep_id is not None:
+            store.checkpoint_sweep(sweep_id, status="interrupted")
+        if handle_signals:
+            for signum, previous in previous_handlers.items():
+                signal.signal(signum, previous)
+            previous_handlers = {}
+        if interrupted["signum"] == signal.SIGTERM:
+            # Re-deliver so the process dies with the genuine SIGTERM
+            # disposition (exit status included), not an exception.
+            os.kill(os.getpid(), signal.SIGTERM)
+        raise KeyboardInterrupt from None
+    finally:
+        for signum, previous in previous_handlers.items():
+            signal.signal(signum, previous)
 
     return SweepResult(
         results={protocol: list(column) for protocol, column in grid.items()},
@@ -692,4 +988,6 @@ def run_sweep(
         cache_misses=misses,
         workers=n_workers if pending else 1,
         failures=failures,
+        worker_deaths=worker_deaths,
+        sweep_id=sweep_id,
     )

@@ -502,3 +502,65 @@ GOLDEN_LINK_MBPS = {
     "tx9->rx9": 0.0,
     "tx10->rx10": 0.5330420535226652,
 }
+
+
+class TestTraceValidation:
+    """Malformed traces raise ConfigurationError (a ValueError) naming
+    the offending row and field -- never a raw KeyError/TypeError."""
+
+    def test_configuration_error_is_a_value_error(self):
+        assert issubclass(ConfigurationError, ValueError)
+
+    def test_json_trace_missing_field_names_row_and_field(self, tmp_path):
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps([
+            {"start_us": 0.0, "duration_us": 10.0, "loss_rate": 0.5},
+            {"start_us": 5.0, "loss_rate": 0.5},
+        ]))
+        with pytest.raises(ConfigurationError, match=r"episode 1.*duration_us"):
+            FaultSchedule.from_trace(path)
+
+    def test_json_trace_non_numeric_field_names_row_and_field(self, tmp_path):
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps(
+            [{"start_us": "soon", "duration_us": 10.0, "loss_rate": 0.5}]
+        ))
+        with pytest.raises(ConfigurationError, match=r"episode 0.*start_us.*'soon'"):
+            FaultSchedule.from_trace(path)
+
+    def test_json_trace_non_integer_node_id_is_rejected(self, tmp_path):
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps([
+            {"start_us": 0.0, "duration_us": 10.0, "loss_rate": 0.5,
+             "tx_id": "ap", "rx_id": 1},
+        ]))
+        with pytest.raises(ConfigurationError, match=r"tx_id.*must be an integer"):
+            FaultSchedule.from_trace(path)
+
+    def test_json_trace_rejects_invalid_json_and_shapes(self, tmp_path):
+        invalid = tmp_path / "bad.json"
+        invalid.write_text("{ not json")
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            FaultSchedule.from_trace(invalid)
+        scalar = tmp_path / "scalar.json"
+        scalar.write_text("42")
+        with pytest.raises(ConfigurationError, match="must be a JSON list"):
+            FaultSchedule.from_trace(scalar)
+        entries = tmp_path / "entries.json"
+        entries.write_text(json.dumps([["positional", "row"]]))
+        with pytest.raises(ConfigurationError, match=r"episode 0.*expected an\s+object"):
+            FaultSchedule.from_trace(entries)
+
+    def test_csv_trace_short_row_names_line(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("start_us,duration_us,loss_rate\n100.0,50.0\n")
+        with pytest.raises(ConfigurationError, match=r"line 2.*at least\s+3 fields"):
+            FaultSchedule.from_trace(path)
+
+    def test_csv_trace_bad_field_names_line_and_field(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("100.0,fifty,0.3\n")
+        with pytest.raises(
+            ConfigurationError, match=r"line 1.*duration_us.*'fifty'"
+        ):
+            FaultSchedule.from_trace(path)

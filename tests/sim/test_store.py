@@ -1,0 +1,275 @@
+"""Tests for the SQLite results store (repro.sim.store).
+
+The store replaces the JSON SweepCache behind the same load/store
+interface, so these tests pin three contracts: cache parity (done-only
+hits, corrupt state as a miss), the cell state machine that makes sweeps
+resumable, and the one-shot migration of legacy JSON caches.
+"""
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.sim.metrics import LinkMetrics, NetworkMetrics
+from repro.sim.runner import SimulationConfig
+from repro.sim.store import (
+    CELL_STATES,
+    STORE_FILENAME,
+    STORE_SCHEMA_VERSION,
+    ResultsStore,
+)
+from repro.sim.sweep import SweepCache, cell_key
+
+FAST = SimulationConfig(duration_us=10_000.0, n_subcarriers=8)
+
+
+def _metrics(delivered: int = 1200) -> NetworkMetrics:
+    return NetworkMetrics(
+        elapsed_us=100.0,
+        links={
+            "a->b": LinkMetrics(
+                pair_name="a->b", delivered_bits=delivered, attempted_bits=2 * delivered
+            )
+        },
+    )
+
+
+def _describe(protocol: str = "n+", run: int = 0) -> dict:
+    return {
+        "scenario": "three-pair",
+        "scenario_fingerprint": "f" * 64,
+        "protocol": protocol,
+        "run": run,
+        "run_seed": 1000 * run,
+        "config_digest": "c" * 64,
+    }
+
+
+class TestCacheParity:
+    """The SweepCache-compatible surface: load/store/len."""
+
+    def test_load_misses_on_unknown_key(self, tmp_path):
+        assert ResultsStore(tmp_path).load("0" * 64) is None
+
+    def test_store_load_round_trip(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        metrics = _metrics()
+        store.store("a" * 64, metrics, _describe())
+        assert store.load("a" * 64).to_dict() == metrics.to_dict()
+        assert len(store) == 1
+
+    def test_cell_key_delegates_to_the_sweep_scheme(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        assert store.cell_key("three-pair", "n+", 4, FAST) == cell_key(
+            "three-pair", "n+", 4, FAST
+        )
+        assert store.cell_key("three-pair", "n+", 4, FAST) == SweepCache(
+            tmp_path
+        ).cell_key("three-pair", "n+", 4, FAST)
+
+    def test_store_overwrites_atomically(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        store.store("a" * 64, _metrics(100), _describe())
+        store.store("a" * 64, _metrics(999), _describe())
+        assert store.load("a" * 64).links["a->b"].delivered_bits == 999
+        assert len(store) == 1
+
+    def test_only_done_cells_hit(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        key = "a" * 64
+        store.store(key, _metrics(), _describe())
+        store.mark_running([key])
+        assert store.load(key) is None
+        store.mark_pending([key])
+        assert store.load(key) is None
+        store.mark_failed(key, "boom", _describe())
+        assert store.load(key) is None
+        assert len(store) == 0
+
+    def test_load_many_matches_per_key_loads(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        store.store("a" * 64, _metrics(100), _describe(run=0))
+        store.store("b" * 64, _metrics(200), _describe(run=1))
+        store.store("c" * 64, _metrics(300), _describe(run=2))
+        store.mark_failed("c" * 64, "boom", _describe(run=2))
+        hits = store.load_many(["a" * 64, "b" * 64, "c" * 64, "d" * 64])
+        # Only done cells hit, exactly like load(); misses are absent.
+        assert set(hits) == {"a" * 64, "b" * 64}
+        for key in hits:
+            assert hits[key].to_dict() == store.load(key).to_dict()
+
+    def test_root_may_be_a_database_path(self, tmp_path):
+        store = ResultsStore(tmp_path / "custom.sqlite")
+        store.store("a" * 64, _metrics(), _describe())
+        assert (tmp_path / "custom.sqlite").exists()
+        assert ResultsStore(tmp_path / "custom.sqlite").load("a" * 64) is not None
+
+
+class TestSelfHealing:
+    def test_corrupt_database_is_quarantined_not_fatal(self, tmp_path):
+        (tmp_path / STORE_FILENAME).write_text("this is not a sqlite database" * 100)
+        store = ResultsStore(tmp_path)
+        # The unreadable store became an empty one (cells are misses)...
+        assert len(store) == 0
+        store.store("a" * 64, _metrics(), _describe())
+        assert store.load("a" * 64) is not None
+        # ...and the corrupt file was set aside for inspection.
+        assert list(tmp_path.glob("*.corrupt.*"))
+
+    def test_newer_store_layout_is_refused(self, tmp_path):
+        ResultsStore(tmp_path).close()
+        conn = sqlite3.connect(tmp_path / STORE_FILENAME)
+        with conn:
+            conn.execute(
+                "UPDATE store_meta SET value=? WHERE key='store_schema'",
+                (str(STORE_SCHEMA_VERSION + 10),),
+            )
+        conn.close()
+        with pytest.raises(ConfigurationError, match="newer than this build"):
+            ResultsStore(tmp_path)
+
+
+class TestStateMachine:
+    def test_states_are_the_documented_four(self):
+        assert CELL_STATES == ("pending", "running", "done", "failed")
+
+    def test_transitions_and_counts(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        keys = ["a" * 64, "b" * 64]
+        store.begin_sweep(
+            "s" * 64, {"n_runs": 2}, [(k, _describe(run=i)) for i, k in enumerate(keys)]
+        )
+        assert store.count("pending") == 2
+        store.mark_running(keys)
+        assert store.count("running") == 2
+        store.store(keys[0], _metrics(), _describe(run=0))
+        store.mark_failed(keys[1], "boom", _describe(run=1))
+        assert store.count("done") == 1
+        assert store.count("failed") == 1
+        assert store.count() == 2
+
+    def test_begin_sweep_preserves_done_cells(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        store.store("a" * 64, _metrics(), _describe())
+        store.begin_sweep(
+            "s" * 64,
+            {},
+            [("a" * 64, _describe()), ("b" * 64, _describe(run=1))],
+        )
+        # The done cell is this sweep's cache hit, not re-pended.
+        assert store.load("a" * 64) is not None
+        assert store.count("pending") == 1
+
+    def test_begin_sweep_resets_orphaned_running_cells(self, tmp_path):
+        """A sweep process that died without checkpointing leaves
+        `running` rows; re-invoking the sweep must reclaim them."""
+        store = ResultsStore(tmp_path)
+        cells = [("a" * 64, _describe())]
+        store.begin_sweep("s" * 64, {}, cells)
+        store.mark_running(["a" * 64])
+        store.begin_sweep("s" * 64, {}, cells)
+        assert store.count("running") == 0
+        assert store.count("pending") == 1
+
+    def test_checkpoint_resets_running_and_marks_interrupted(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        store.begin_sweep("s" * 64, {"seed": 0}, [("a" * 64, _describe())])
+        store.mark_running(["a" * 64])
+        store.checkpoint_sweep("s" * 64)
+        assert store.count("running") == 0
+        assert store.count("pending") == 1
+        assert store.get_sweep("s" * 64).status == "interrupted"
+
+    def test_finish_sweep_marks_done(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        store.begin_sweep("s" * 64, {"seed": 0}, [])
+        store.finish_sweep("s" * 64)
+        assert store.get_sweep("s" * 64).status == "done"
+
+    def test_get_sweep_round_trips_the_manifest(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        manifest = {"scenario": "three-pair", "n_runs": 4, "protocols": ["n+"]}
+        store.begin_sweep("s" * 64, manifest, [])
+        assert store.get_sweep("s" * 64).manifest == manifest
+        assert store.get_sweep("missing" + "0" * 57) is None
+        assert [record.sweep_id for record in store.sweeps()] == ["s" * 64]
+
+
+class TestQueries:
+    def _populate(self, store: ResultsStore) -> None:
+        for run in range(2):
+            for protocol in ("802.11n", "n+"):
+                describe = dict(_describe(protocol=protocol, run=run))
+                key = f"{protocol}-{run}".ljust(64, "0")
+                store.store(key, _metrics(100 * run + 1), describe)
+        failed = dict(_describe(protocol="n+", run=2))
+        store.mark_failed("failed".ljust(64, "0"), "boom", failed)
+
+    def test_query_filters_compose(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        self._populate(store)
+        assert len(store.query()) == 5
+        assert len(store.query(protocol="n+")) == 3
+        assert len(store.query(protocol="n+", status="done")) == 2
+        assert store.query(status="failed")[0].error == "boom"
+        assert store.query(scenario="nonexistent") == []
+
+    def test_query_returns_metrics_lazily(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        self._populate(store)
+        without = store.query(protocol="n+", status="done")
+        assert all(record.metrics() is None for record in without)
+        with_payload = store.query(protocol="n+", status="done", with_metrics=True)
+        assert [r.metrics().links["a->b"].delivered_bits for r in with_payload] == [
+            1,
+            101,
+        ]
+
+    def test_summary_counts_by_coordinates(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        self._populate(store)
+        summary = store.summary()
+        assert summary[("three-pair", "802.11n")] == {"done": 2}
+        assert summary[("three-pair", "n+")] == {"done": 2, "failed": 1}
+
+
+class TestJsonMigration:
+    def _seed_json_cache(self, tmp_path, n: int = 2) -> list:
+        cache = SweepCache(tmp_path)
+        keys = []
+        for run_seed in range(n):
+            key = cache.cell_key("three-pair", "n+", run_seed, FAST)
+            cache.store(key, _metrics(100 + run_seed), describe=_describe(run=run_seed))
+            keys.append(key)
+        return keys
+
+    def test_legacy_cells_migrate_on_first_open(self, tmp_path):
+        keys = self._seed_json_cache(tmp_path)
+        store = ResultsStore(tmp_path)
+        assert len(store) == 2
+        for i, key in enumerate(keys):
+            assert store.load(key).links["a->b"].delivered_bits == 100 + i
+        # The JSON files are left in place, untouched.
+        assert len(SweepCache(tmp_path)) == 2
+
+    def test_migration_is_one_shot(self, tmp_path):
+        keys = self._seed_json_cache(tmp_path)
+        ResultsStore(tmp_path).close()
+        # New JSON files appearing *after* the migration are not imported
+        # (the old code path is done; the store owns the directory now).
+        cache = SweepCache(tmp_path)
+        late_key = cache.cell_key("three-pair", "n+", 99, FAST)
+        cache.store(late_key, _metrics(), describe={})
+        store = ResultsStore(tmp_path)
+        assert store.load(keys[0]) is not None
+        assert store.load(late_key) is None
+
+    def test_unreadable_and_foreign_json_files_are_skipped(self, tmp_path):
+        keys = self._seed_json_cache(tmp_path, n=1)
+        (tmp_path / ("e" * 64 + ".json")).write_text("{ truncated")
+        (tmp_path / "notes.json").write_text(json.dumps({"metrics": {}}))
+        store = ResultsStore(tmp_path)
+        assert len(store) == 1
+        assert store.load(keys[0]) is not None

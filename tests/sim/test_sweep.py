@@ -23,6 +23,7 @@ from repro.sim.runner import (
     simulate_placement,
 )
 from repro.sim.scenarios import dense_lan_scenario, three_pair_scenario
+from repro.sim.store import ResultsStore
 from repro.sim.sweep import SweepCache, config_digest, run_sweep, scenario_digest
 
 FAST = SimulationConfig(duration_us=10_000.0, n_subcarriers=8)
@@ -444,7 +445,7 @@ class TestSchemaBoundary:
         old = run_sweep(
             "three-pair", ["n+"], n_runs=2, seed=4, config=FAST, cache_dir=tmp_path
         )
-        assert old.cache_misses == 2 and len(SweepCache(tmp_path)) == 2
+        assert old.cache_misses == 2 and len(ResultsStore(tmp_path)) == 2
 
         # Back on the real schema: every v5 cell is a miss, not a replay.
         monkeypatch.undo()
@@ -454,10 +455,10 @@ class TestSchemaBoundary:
         )
         assert bumped.cache_hits == 0 and bumped.cache_misses == 2
         # The recomputed cells are correct (identical to an uncached sweep)
-        # and were re-stored under the v6 keys next to the stale v5 files.
+        # and were re-stored under the v6 keys next to the stale v5 rows.
         fresh = run_sweep("three-pair", ["n+"], n_runs=2, seed=4, config=FAST)
         assert _as_dicts(bumped.results) == _as_dicts(fresh.results)
-        assert len(SweepCache(tmp_path)) == 4
+        assert len(ResultsStore(tmp_path)) == 4
 
     def test_cell_keys_differ_across_schema_versions(self, tmp_path, monkeypatch):
         import repro.sim.sweep as sweep_module
@@ -618,7 +619,9 @@ class TestSweepHardening:
             retry_backoff_s=0.0,
         )
         assert failed.failures
-        assert len(SweepCache(tmp_path)) == 0
+        # Failed cells are recorded as `failed`, never as cached results:
+        # len() counts only `done` cells and load() replays only those.
+        assert len(ResultsStore(tmp_path)) == 0
         monkeypatch.undo()
         recovered = run_sweep(
             "three-pair", ["n+"], n_runs=1, seed=4, config=FAST, cache_dir=tmp_path
@@ -721,3 +724,85 @@ class TestSchemaV4FaultDigests:
             ),
         )
         assert base != off
+
+
+class TestDefaultWorkers:
+    def test_repro_workers_env_override_wins(self, monkeypatch):
+        from repro.sim.sweep import default_workers
+
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert default_workers() == 3
+
+    def test_repro_workers_is_clamped_to_at_least_one(self, monkeypatch):
+        from repro.sim.sweep import default_workers
+
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        assert default_workers() == 1
+
+    def test_repro_workers_must_be_an_integer(self, monkeypatch):
+        from repro.sim.sweep import default_workers
+
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        with pytest.raises(ConfigurationError, match="REPRO_WORKERS"):
+            default_workers()
+
+    def test_blank_override_falls_through_to_affinity(self, monkeypatch):
+        import os
+
+        from repro.sim.sweep import default_workers
+
+        monkeypatch.setenv("REPRO_WORKERS", "  ")
+        expected = max(1, len(os.sched_getaffinity(0)))
+        assert default_workers() == expected
+
+
+class TestRetryBackoff:
+    """The backoff sleep is only paid when a retry will actually follow."""
+
+    def test_no_sleep_after_the_final_in_process_attempt(self, monkeypatch):
+        import repro.sim.sweep as sweep_module
+        from repro.sim.runner import placement_seed
+
+        sleeps = []
+        monkeypatch.setattr(
+            sweep_module.time, "sleep", lambda s: sleeps.append(s)
+        )
+        monkeypatch.setattr(
+            sweep_module, "build_network", _crash_on_seed(placement_seed(4, 0))
+        )
+        result = run_sweep(
+            "three-pair",
+            ["n+"],
+            n_runs=1,
+            seed=4,
+            config=FAST,
+            max_retries=2,
+            retry_backoff_s=0.25,
+        )
+        assert result.failures
+        # Two retries follow attempts 0 and 1; nothing follows attempt 2,
+        # so exactly two backoffs are paid -- not three.
+        assert sleeps == [0.25, 0.5]
+
+    def test_zero_retries_never_sleeps(self, monkeypatch):
+        import repro.sim.sweep as sweep_module
+        from repro.sim.runner import placement_seed
+
+        sleeps = []
+        monkeypatch.setattr(
+            sweep_module.time, "sleep", lambda s: sleeps.append(s)
+        )
+        monkeypatch.setattr(
+            sweep_module, "build_network", _crash_on_seed(placement_seed(4, 0))
+        )
+        result = run_sweep(
+            "three-pair",
+            ["n+"],
+            n_runs=1,
+            seed=4,
+            config=FAST,
+            max_retries=0,
+            retry_backoff_s=30.0,
+        )
+        assert result.failures
+        assert sleeps == []

@@ -128,3 +128,55 @@ class TestMain:
         assert main(argv) == 0
         second = capsys.readouterr().out
         assert "2 cell(s) from cache, 0 simulated" in second
+
+
+class TestDurableSweepCommands:
+    def _sweep_argv(self, tmp_path, extra=()):
+        return [
+            "sweep",
+            "--scenario", "three-pair",
+            "--protocols", "802.11n,n+",
+            "--runs", "1",
+            "--duration-ms", "8",
+            "--subcarriers", "8",
+            "--cache-dir", str(tmp_path),
+            *extra,
+        ]
+
+    def test_resume_flag_defaults_off(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.resume is False
+        assert build_parser().parse_args(["sweep", "--resume"]).resume is True
+
+    def test_resume_without_a_recorded_manifest_is_rejected(self, tmp_path):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="nothing to resume"):
+            main(self._sweep_argv(tmp_path, extra=["--resume"]))
+
+    def test_resume_after_a_completed_sweep_replays_from_cache(self, capsys, tmp_path):
+        assert main(self._sweep_argv(tmp_path)) == 0
+        capsys.readouterr()
+        assert main(self._sweep_argv(tmp_path, extra=["--resume"])) == 0
+        assert "2 cell(s) from cache, 0 simulated" in capsys.readouterr().out
+
+    def test_results_command_requires_a_cache_dir(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="cache-dir"):
+            main(["results"])
+
+    def test_results_command_reports_sweeps_and_cells(self, capsys, tmp_path):
+        assert main(self._sweep_argv(tmp_path)) == 0
+        capsys.readouterr()
+        assert main(["results", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "done" in out
+        assert "three-pair" in out
+        assert "802.11n,n+" in out
+
+    def test_results_command_on_an_empty_store(self, capsys, tmp_path):
+        assert main(["results", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "no sweep manifests recorded" in out
+        assert "no cells recorded" in out
