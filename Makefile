@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: test test-fast docs-check examples bench bench-compare bench-quick bench-baseline precommit
+.PHONY: test test-fast docs-check examples bench bench-compare bench-quick bench-baseline precommit invariant-smoke
 
 test:
 	$(PYTHON) -m pytest -q
@@ -14,9 +14,16 @@ test:
 test-fast:
 	$(PYTHON) -m pytest -q -m "not slow"
 
-# The documented pre-commit gate: the fast test selection plus the
-# CI-affordable benchmark comparison.
-precommit: test-fast bench-quick
+# The documented pre-commit gate: the fast test selection, the
+# CI-affordable benchmark comparison, and the invariant smoke.
+precommit: test-fast bench-quick invariant-smoke
+
+# Fast end-to-end invariant pass: runs a bursty and a faulty scenario
+# under validation="cheap", so a broken conservation law fails the gate
+# even if no unit test covers it.
+invariant-smoke:
+	$(PYTHON) -m repro.cli sweep --scenario dense-lan-20-bursty --protocols n+ --runs 1 --duration-ms 20 --validation cheap
+	$(PYTHON) -m repro.cli sweep --scenario dense-lan-20-faulty --protocols n+ --runs 1 --duration-ms 20 --validation cheap
 
 # Fails when README/ARCHITECTURE code blocks or the examples go stale.
 docs-check:

@@ -14,6 +14,7 @@ Installed as a module runner::
     python -m repro.cli sweep --scenario dense-lan-20-faulty --protocols "n+,n+[recovery=erasure]" --runs 8
     python -m repro.cli sweep --scenario dense-lan-30 --runs 50 --cache-dir .sweep-cache --resume
     python -m repro.cli results --cache-dir .sweep-cache
+    python -m repro.cli replay path-to-capsule.json
     python -m repro.cli validate-fidelity --scenario dense-lan-20 --links 8
     python -m repro.cli all --quick
 
@@ -27,10 +28,16 @@ scenario x protocol grid through the parallel orchestrator
 ``name[param=value,...]`` form -- with optional worker fan-out and
 on-disk result caching, ``sweep --resume`` completes an interrupted
 cached sweep exactly where it stopped, ``results`` inspects a results
-store -- recorded sweeps and per-(scenario, protocol) cell states
-(:mod:`repro.sim.store`) -- and ``validate-fidelity`` prints the
-cross-fidelity agreement table of :mod:`repro.sim.fidelity` for sampled
-links of a scenario.
+store -- recorded sweeps, per-(scenario, protocol) cell states and the
+crash capsules of failed cells (:mod:`repro.sim.store`) -- ``replay``
+re-executes a crash capsule under full validation
+(:mod:`repro.sim.capsule`) and reports whether the recorded failure
+reproduced, and ``validate-fidelity`` prints the cross-fidelity
+agreement table of :mod:`repro.sim.fidelity` for sampled links of a
+scenario.
+
+A ``sweep`` that ends with failed cells exits non-zero (even without
+``--strict``), printing one line per failure with its capsule path.
 """
 
 from __future__ import annotations
@@ -48,6 +55,7 @@ from repro.experiments import handshake_overhead as handshake
 from repro.exceptions import ConfigurationError
 from repro.experiments.report import format_table
 from repro.mac.variants import available_variants, parse_protocol, split_protocol_list
+from repro.sim.capsule import load_capsule, replay_capsule
 from repro.sim.runner import SimulationConfig
 from repro.sim.scenarios import available_scenarios, scenario_factory
 from repro.sim.store import ResultsStore
@@ -86,6 +94,7 @@ def _simulation_config(args: argparse.Namespace) -> SimulationConfig:
         fault_trace=args.fault_trace,
         fidelity=args.fidelity,
         fidelity_band_db=args.fidelity_band_db,
+        validation=args.validation,
     )
 
 
@@ -174,7 +183,7 @@ def _run_protocols(args: argparse.Namespace) -> None:
     )
 
 
-def _run_sweep(args: argparse.Namespace) -> None:
+def _run_sweep(args: argparse.Namespace) -> int:
     scenario = args.scenario or "three-pair"
     # Parse (and so validate) every entry up front: an unknown name or
     # parameter aborts here with the registry listing, before any worker
@@ -221,11 +230,23 @@ def _run_sweep(args: argparse.Namespace) -> None:
     )
     if result.worker_deaths:
         print(f"{result.worker_deaths} worker death(s) absorbed (see 'repro results')")
-    for failure in result.failures:
-        print(
-            f"FAILED cell: protocol={failure.protocol} run={failure.run} "
-            f"seed={failure.run_seed}: {failure.error}"
-        )
+    if result.failures:
+        # Failed cells make the sweep exit non-zero even without
+        # --strict: the grid is incomplete, and scripts piping sweeps
+        # into analysis must not mistake it for a clean run.
+        print(f"\n{len(result.failures)} cell(s) FAILED:")
+        for failure in result.failures:
+            capsule = (
+                f" capsule={failure.capsule_path}" if failure.capsule_path else ""
+            )
+            print(
+                f"FAILED cell: protocol={failure.protocol} run={failure.run} "
+                f"seed={failure.run_seed}: {failure.error}{capsule}"
+            )
+        if any(f.capsule_path for f in result.failures):
+            print("replay a capsule with: python -m repro.cli replay CAPSULE_PATH")
+        return 1
+    return 0
 
 
 def _run_results(args: argparse.Namespace) -> None:
@@ -275,6 +296,55 @@ def _run_results(args: argparse.Namespace) -> None:
         print(format_table(["scenario", "protocol", *states], rows))
     else:
         print("no cells recorded")
+    failed = store.query(status="failed")
+    if failed:
+        print()
+        rows = [
+            [
+                cell.scenario or "-",
+                cell.protocol or "-",
+                "-" if cell.run is None else str(cell.run),
+                (cell.error or "")[:44],
+                cell.capsule_path or "-",
+            ]
+            for cell in failed
+        ]
+        print(format_table(["scenario", "protocol", "run", "error", "capsule"], rows))
+        print("\nreplay a capsule with: python -m repro.cli replay CAPSULE_PATH")
+
+
+def _run_replay(args: argparse.Namespace) -> int:
+    if not args.target:
+        raise ConfigurationError(
+            "the 'replay' command needs the path of a crash capsule "
+            "(printed by a failing sweep and by 'repro results')"
+        )
+    capsule = load_capsule(args.target)
+    _print_header(
+        f"Replay -- {capsule.scenario} / {capsule.protocol} "
+        f"run {capsule.run} (seed {capsule.run_seed})"
+    )
+    print(f"recorded failure: {capsule.error_type}: {capsule.error_message}")
+    outcome = replay_capsule(capsule, validation=args.validation or "full")
+    if not outcome.fingerprint_matched:
+        print(
+            "WARNING: the scenario definition changed since this capsule was "
+            "written; the replay may not be faithful"
+        )
+    if outcome.reproduced:
+        print(f"reproduced: {outcome.error_type}: {outcome.error_message}")
+        if outcome.traceback:
+            print()
+            print(outcome.traceback, end="")
+        return 0
+    if outcome.error_type is None:
+        print("NOT reproduced: the replay completed cleanly")
+    else:
+        print(f"NOT reproduced: got {outcome.error_type}: {outcome.error_message}")
+        if outcome.traceback:
+            print()
+            print(outcome.traceback, end="")
+    return 1
 
 
 def _run_validate_fidelity(args: argparse.Namespace) -> None:
@@ -302,7 +372,7 @@ def _run_all(args: argparse.Namespace) -> None:
         print(f"[{runner.__name__[5:]}] finished in {time.time() - start:.1f} s")
 
 
-_COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
+_COMMANDS: Dict[str, Callable[[argparse.Namespace], Optional[int]]] = {
     "fig9": _run_fig9,
     "fig11": _run_fig11,
     "fig12": _run_fig12,
@@ -312,6 +382,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "protocols": _run_protocols,
     "sweep": _run_sweep,
     "results": _run_results,
+    "replay": _run_replay,
     "validate-fidelity": _run_validate_fidelity,
     "all": _run_all,
 }
@@ -324,6 +395,12 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reproduce the evaluation of 'Random Access Heterogeneous MIMO Networks'.",
     )
     parser.add_argument("command", choices=sorted(_COMMANDS), help="experiment to run")
+    parser.add_argument(
+        "target",
+        nargs="?",
+        default=None,
+        help="for the 'replay' command: path of the crash capsule to re-execute",
+    )
     parser.add_argument("--seed", type=int, default=0, help="base random seed")
     parser.add_argument(
         "--trials", type=int, default=400, help="trials for the signal-level experiments"
@@ -403,6 +480,16 @@ def build_parser() -> argparse.ArgumentParser:
         "full transceiver, 'full' escalates every reception",
     )
     parser.add_argument(
+        "--validation",
+        choices=["off", "cheap", "full"],
+        default=None,
+        help="runtime invariant checking for simulation runs (see "
+        "repro.sim.invariants): 'off' (the default) runs the exact "
+        "unvalidated path, 'cheap' checks aggregate conservation laws at "
+        "round boundaries, 'full' adds per-link and per-queue checks; "
+        "'replay' defaults to 'full'",
+    )
+    parser.add_argument(
         "--fidelity-band-db",
         type=float,
         default=None,
@@ -435,8 +522,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         args.workers = None  # run_sweep: None = all usable cores
     if args.packet_rate_pps is not None and args.packet_rate_pps < 0:
         parser.error("--packet-rate-pps must be >= 0 (0 = saturated sources)")
-    _COMMANDS[args.command](args)
-    return 0
+    exit_code = _COMMANDS[args.command](args)
+    return int(exit_code) if exit_code else 0
 
 
 if __name__ == "__main__":

@@ -47,3 +47,26 @@ class MediumAccessError(ReproError):
 
 class SimulationError(ReproError):
     """Raised by the discrete-event engine on scheduling errors."""
+
+
+class InvariantViolation(ReproError):
+    """Raised when a runtime invariant check fails during a simulation.
+
+    The message names the violated checker, the round it fired in and the
+    links involved; the structured fields (:attr:`checker`, :attr:`round`,
+    :attr:`links`) carry the same information for programmatic handling
+    (crash capsules serialize them).  Raised only when
+    :attr:`repro.sim.runner.SimulationConfig.validation` is ``"cheap"``
+    or ``"full"`` -- the default ``"off"`` never runs the checkers.
+    """
+
+    def __init__(self, checker: str, round_index: int, links=(), detail: str = ""):
+        self.checker = checker
+        self.round = int(round_index)
+        self.links = tuple(links)
+        message = f"invariant {checker!r} violated at round {self.round}"
+        if self.links:
+            message += f" on link(s) {', '.join(str(l) for l in self.links)}"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)

@@ -148,6 +148,12 @@ class BaseMacAgent:
                     packet_size_bytes=packet_size_bytes,
                 )
         self._round_robin = 0
+        # receiver_id -> epoch signature of the link at quarantine time.
+        # A link lands here when the numerical guards degraded one of its
+        # planning decompositions; it sits out until the signature changes
+        # (the channel moved to a new epoch), see quarantine_link().
+        self._quarantine: Dict[int, tuple] = {}
+        self.quarantined_rounds = 0
 
     # -- identity -----------------------------------------------------------------
 
@@ -278,6 +284,46 @@ class BaseMacAgent:
         if self.plan_cache is None:
             return compute()
         return self.plan_cache.get(key, compute)
+
+    # -- numerical quarantine -----------------------------------------------------------
+
+    def quarantine_link(self, receiver_id: int) -> None:
+        """Sit a link out after a guarded numerical fallback.
+
+        Called by the planning layer when :mod:`repro.utils.guarded`
+        reports that a decomposition feeding this link's plan degraded
+        (non-finite or near-singular channel, typically mid-fade).  The
+        link's current epoch signature is pinned; the quarantine lifts
+        automatically the moment the signature changes (the fault layer
+        bumped the channel), so a restored link resumes without any
+        explicit un-quarantine call.
+        """
+        signature = self.network.epoch_signature((self.node_id, receiver_id))
+        self._quarantine[receiver_id] = signature
+
+    def link_quarantined(self, receiver_id: int) -> bool:
+        """Whether a link is currently quarantined (auto-lifts on epoch change)."""
+        pinned = self._quarantine.get(receiver_id)
+        if pinned is None:
+            return False
+        current = self.network.epoch_signature((self.node_id, receiver_id))
+        if current != pinned:
+            del self._quarantine[receiver_id]
+            return False
+        return True
+
+    def _quarantine_signature(self) -> tuple:
+        """Sorted ids of the still-quarantined receivers, as a cache-key
+        component: quarantine state can flip within one channel epoch
+        (links are quarantined *during* planning), so plan memo keys must
+        carry it explicitly."""
+        return tuple(
+            sorted(
+                receiver_id
+                for receiver_id in list(self._quarantine)
+                if self.link_quarantined(receiver_id)
+            )
+        )
 
     # -- bitrate -------------------------------------------------------------------------
 

@@ -22,6 +22,7 @@ from repro.mac.plan import PlannedReceiver, plan_initial_transmission
 from repro.mimo.dof import InterferenceStrategy
 from repro.phy.rates import MCS_TABLE
 from repro.sim.medium import Medium, ScheduledStream
+from repro.utils import guarded
 
 __all__ = ["BeamformingMac", "distribute_streams"]
 
@@ -68,7 +69,11 @@ class BeamformingMac(BaseMacAgent):
 
     def plan_initial(self, start_us: float, medium: Medium) -> List[ScheduledStream]:
         """Beamform to every backlogged receiver simultaneously."""
-        receiver_ids = self._receivers_with_traffic()
+        candidates = self._receivers_with_traffic()
+        receiver_ids = [r for r in candidates if not self.link_quarantined(r)]
+        suppressed = len(receiver_ids) < len(candidates)
+        if suppressed:
+            self.quarantined_rounds += 1
         if not receiver_ids:
             return []
         antennas = [self.network.station(r).n_antennas for r in receiver_ids]
@@ -117,7 +122,18 @@ class BeamformingMac(BaseMacAgent):
             tuple((r.receiver_id, r.n_streams) for r in receivers),
             self.network.epoch_signature(involved),
         )
-        plan = self._cached(key, _compute)
+        with guarded.capture_degradations() as capture:
+            plan = self._cached(key, _compute)
+        if capture.triggered:
+            # A guarded fallback fired inside the decomposition: the
+            # channel is numerically degenerate, so never transmit with the
+            # fallback precoders -- decline the plan and quarantine the
+            # links until their channel epoch changes.
+            for planned in receivers:
+                self.quarantine_link(planned.receiver_id)
+            if not suppressed:
+                self.quarantined_rounds += 1
+            return []
         if plan is None:
             return []
 

@@ -48,6 +48,7 @@ from repro.mimo.dof import InterferenceStrategy, choose_strategy
 from repro.phy.rates import MCS_TABLE
 from repro.sim.link_abstraction import announced_decoding_subspace, interference_directions_at
 from repro.sim.medium import Medium, ScheduledStream
+from repro.utils import guarded
 
 __all__ = ["NPlusMac"]
 
@@ -147,6 +148,8 @@ class NPlusMac(BeamformingMac):
         for receiver in self.pair.receivers:
             if not self.queues[receiver.node_id].has_traffic:
                 continue
+            if self.link_quarantined(receiver.node_id):
+                continue
             capacity = receiver.n_antennas - used
             if capacity <= 0:
                 continue
@@ -159,10 +162,19 @@ class NPlusMac(BeamformingMac):
         for receiver, n_streams in zip(candidates, allocation):
             if n_streams == 0:
                 continue
-            ongoing_at_receiver = interference_directions_at(
-                self.network, receiver.node_id, medium.active_streams
-            )
-            u_perp = _subspace_orthogonal_to(ongoing_at_receiver, receiver.n_antennas, n_streams)
+            with guarded.capture_degradations() as capture:
+                ongoing_at_receiver = interference_directions_at(
+                    self.network, receiver.node_id, medium.active_streams
+                )
+                u_perp = _subspace_orthogonal_to(
+                    ongoing_at_receiver, receiver.n_antennas, n_streams
+                )
+            if capture.triggered:
+                # The orthogonal subspace at this receiver degraded (the
+                # guards fell back); exclude it from the join and sit the
+                # link out until its channel epoch changes.
+                self.quarantine_link(receiver.node_id)
+                continue
             planned.append(
                 PlannedReceiver(
                     receiver_id=receiver.node_id,
@@ -205,15 +217,26 @@ class NPlusMac(BeamformingMac):
         receivers = self._own_receivers(medium, max_new)
         if not receivers:
             return None
-        try:
-            plan = plan_join(
-                transmitter_id=self.node_id,
-                n_tx_antennas=self.n_antennas,
-                protected=protected,
-                receivers=receivers,
-                noise_power=self.network.noise_power,
-            )
-        except PrecodingError:
+        with guarded.capture_degradations() as capture:
+            try:
+                plan = plan_join(
+                    transmitter_id=self.node_id,
+                    n_tx_antennas=self.n_antennas,
+                    protected=protected,
+                    receivers=receivers,
+                    noise_power=self.network.noise_power,
+                )
+            except PrecodingError:
+                plan = None
+        if capture.triggered:
+            # The joint pre-coder solve degraded: never transmit with the
+            # fallback pre-coders.  The shared constraint matrix does not
+            # say which link is at fault, so quarantine every planned one
+            # (each lifts as soon as its channel epoch changes).
+            for receiver in receivers:
+                self.quarantine_link(receiver.receiver_id)
+            return None
+        if plan is None:
             return None
         return plan, receivers
 
@@ -221,6 +244,8 @@ class NPlusMac(BeamformingMac):
         self, start_us: float, medium: Medium
     ) -> Optional[List[ScheduledStream]]:
         """Join the ongoing transmissions without interfering with them."""
+        if any(self.link_quarantined(r.node_id) for r in self.pair.receivers):
+            self.quarantined_rounds += 1
         backlogged = tuple(
             r.node_id for r in self.pair.receivers if self.queues[r.node_id].has_traffic
         )
@@ -238,6 +263,10 @@ class NPlusMac(BeamformingMac):
             self.node_id,
             stream_signature(medium.active_streams),
             backlogged,
+            # Quarantine state can change *within* one channel epoch (links
+            # are quarantined during planning), so the memo key must carry
+            # it or a pre-quarantine plan would be replayed from cache.
+            self._quarantine_signature(),
             self.network.epoch_signature(involved),
         )
         core = self._cached(key, lambda: self._join_plan_core(medium))

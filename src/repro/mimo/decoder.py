@@ -16,6 +16,7 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 from repro.exceptions import DecodingError, DimensionError
+from repro.utils import guarded
 from repro.utils.db import linear_to_db
 from repro.utils.linalg import (
     orthonormal_basis,
@@ -204,6 +205,15 @@ def post_projection_snr_batch(
     if interference_directions is not None and np.asarray(interference_directions).size:
         hi = np.asarray(interference_directions, dtype=complex)
 
+    guards = guarded.guards_enabled()
+    if guards:
+        # NaN/Inf-poisoned subcarriers decode nothing: zero the poisoned
+        # matrices (their SNR comes out 0) instead of letting LAPACK raise
+        # or NaN propagate into the metrics.  No-op on finite stacks.
+        hw, _ = guarded.sanitize_stack(hw)
+        if hi is not None:
+            hi, _ = guarded.sanitize_stack(hi)
+
     if hi is None:
         h_eff = hw
     else:
@@ -211,7 +221,10 @@ def post_projection_snr_batch(
         # complement width is N - rank; when the rank varies across
         # subcarriers (degenerate channels) fall back to the per-subcarrier
         # reference path for correctness.
-        u, s, _ = np.linalg.svd(hi, full_matrices=True)
+        if guards:
+            u, s, _ = guarded.svd_stack(hi, full_matrices=True)
+        else:
+            u, s, _ = np.linalg.svd(hi, full_matrices=True)
         ranks = singular_value_ranks(s)
         rank = int(ranks[0])
         if not np.all(ranks == rank):
@@ -229,11 +242,19 @@ def post_projection_snr_batch(
     if h_eff.shape[1] < n_streams:
         return np.zeros((n_sub, n_streams))
     effective_rank = np.linalg.matrix_rank(h_eff)
-    w = np.linalg.pinv(h_eff)  # (n_sub, n, rows)
+    if guards:
+        # numpy's default rcond, so the guarded happy path stays
+        # bit-identical to the unguarded ``np.linalg.pinv`` call.
+        w, _ = guarded.pinv_stack(h_eff, rcond=1e-15)
+    else:
+        w = np.linalg.pinv(h_eff)  # (n_sub, n, rows)
     noise_total = noise_power + residual
     enhancement = np.sum(np.abs(w) ** 2, axis=2)
     snr = signal_power / (noise_total[:, None] * np.maximum(enhancement, 1e-30))
     snr[effective_rank < n_streams] = 0.0
+    if guards and not np.isfinite(snr).all():
+        guarded.note_degradation("nonfinite-snr")
+        snr = np.where(np.isfinite(snr), snr, 0.0)
     return snr
 
 

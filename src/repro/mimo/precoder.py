@@ -24,6 +24,7 @@ import numpy as np
 from repro.exceptions import DimensionError, PrecodingError
 from repro.mimo.alignment import alignment_constraint_rows
 from repro.mimo.nulling import nulling_constraint_rows
+from repro.utils import guarded
 from repro.utils.linalg import null_space, null_space_batch
 
 __all__ = [
@@ -406,13 +407,31 @@ def compute_precoders_batch(
             rhs[base + stream, column] = 1.0
             column += 1
 
+    rhs_stack = np.broadcast_to(rhs, (n_sub,) + rhs.shape)
     if total_rows == n_tx_antennas:
-        try:
-            solution = np.linalg.solve(matrix, np.broadcast_to(rhs, (n_sub,) + rhs.shape))
-        except np.linalg.LinAlgError as exc:
-            raise PrecodingError(f"the combined constraint matrix is singular: {exc}") from exc
+        if guarded.guards_enabled():
+            # A singular/ill-conditioned/NaN-poisoned system falls back to
+            # the pinned-rcond pseudo-inverse instead of killing the run;
+            # the degradation note drives link quarantine at the MAC layer.
+            solution, degraded = guarded.solve_stack(matrix, rhs_stack)
+            if degraded and n_shared and not np.allclose(shared @ solution, 0, atol=1e-8):
+                raise PrecodingError(
+                    "degenerate constraint matrix: the guarded fallback cannot "
+                    "satisfy the nulling/alignment constraints"
+                )
+        else:
+            try:
+                solution = np.linalg.solve(matrix, rhs_stack)
+            except np.linalg.LinAlgError as exc:
+                raise PrecodingError(
+                    f"the combined constraint matrix is singular: {exc}"
+                ) from exc
     else:
-        solution = np.linalg.pinv(matrix, rcond=rcond) @ rhs
+        if guarded.guards_enabled():
+            pinv, _ = guarded.pinv_stack(matrix, rcond=rcond)
+            solution = pinv @ rhs
+        else:
+            solution = np.linalg.pinv(matrix, rcond=rcond) @ rhs
         # Verify the hard constraints (protecting ongoing receivers) hold.
         if n_shared and not np.allclose(shared @ solution, 0, atol=1e-8):
             raise PrecodingError(

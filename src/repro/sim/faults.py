@@ -42,7 +42,7 @@ from __future__ import annotations
 import csv
 import heapq
 import json
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
@@ -226,6 +226,14 @@ def loss_episode_generator(
 
 Episode = Union[FadeEpisode, LossEpisode, ChurnEpisode]
 
+#: Type tag <-> episode class, for the JSON round trip of a schedule
+#: (crash capsules serialize the exact episodes a failed run injected).
+_EPISODE_TYPES: Dict[str, type] = {
+    "fade": FadeEpisode,
+    "loss": LossEpisode,
+    "churn": ChurnEpisode,
+}
+
 
 @dataclass
 class FaultSchedule:
@@ -307,6 +315,48 @@ class FaultSchedule:
                 ):
                     episodes.append(ChurnEpisode(start, dur, station.node_id))
 
+        return cls(episodes)
+
+    def to_jsonable(self) -> List[dict]:
+        """Type-tagged plain-dict episodes, inverse of :meth:`from_jsonable`.
+
+        Crash capsules store this form so a failed run replays against
+        the *exact* episodes it injected, independent of how the original
+        schedule was resolved (profile, trace or explicit).
+        """
+        out: List[dict] = []
+        for episode in self.episodes:
+            for tag, klass in _EPISODE_TYPES.items():
+                if isinstance(episode, klass):
+                    out.append({"type": tag, **asdict(episode)})
+                    break
+            else:  # pragma: no cover - schedules only hold known episode types
+                raise ConfigurationError(
+                    f"cannot serialize episode of type {type(episode).__name__}"
+                )
+        return out
+
+    @classmethod
+    def from_jsonable(cls, data: Sequence[dict]) -> "FaultSchedule":
+        """Rebuild a schedule from :meth:`to_jsonable` output."""
+        episodes: List[Episode] = []
+        for index, entry in enumerate(data):
+            if not isinstance(entry, dict):
+                raise ConfigurationError(
+                    f"episode {index}: expected an object, got {type(entry).__name__}"
+                )
+            fields = dict(entry)
+            tag = fields.pop("type", None)
+            klass = _EPISODE_TYPES.get(tag)
+            if klass is None:
+                raise ConfigurationError(
+                    f"episode {index}: unknown episode type {tag!r} "
+                    f"(expected one of {sorted(_EPISODE_TYPES)})"
+                )
+            try:
+                episodes.append(klass(**fields))
+            except TypeError as exc:
+                raise ConfigurationError(f"episode {index}: {exc}") from None
         return cls(episodes)
 
     @classmethod

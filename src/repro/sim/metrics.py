@@ -48,6 +48,13 @@ class LinkMetrics:
         erased fragments counted here) or lost (nothing recovered), so no
         bit is both recovered and dropped.  Same default-0 back-compat
         pattern as ``packets_dropped``.
+    quarantined_rounds:
+        Planning calls in which this pair's transmitter declined (or
+        trimmed) a transmission because the link was quarantined by the
+        numerical guards (:mod:`repro.utils.guarded`): a degenerate
+        decomposition fell back deterministically instead of raising, and
+        the link sits out until its channel epoch changes.  Same
+        default-0 back-compat pattern as ``packets_dropped``.
     """
 
     pair_name: str
@@ -61,6 +68,7 @@ class LinkMetrics:
     collisions: int = 0
     packets_dropped: int = 0
     recovered_bits: int = 0
+    quarantined_rounds: int = 0
 
     def throughput_mbps(self, elapsed_us: float) -> float:
         """Delivered throughput over an observation window."""

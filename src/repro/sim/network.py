@@ -698,6 +698,13 @@ class Network:
         key = (a, b) if a < b else (b, a)
         return self._link_epochs.get(key, 0)
 
+    @property
+    def link_epochs(self) -> Dict[Tuple[int, int], int]:
+        """Read-only view of every bumped link's epoch (empty while the
+        network is static).  The invariant layer reads this to assert
+        epochs are monotone; mutate only via :meth:`bump_link_epoch`."""
+        return self._link_epochs
+
     def bump_link_epoch(self, a: int, b: int) -> None:
         """Record that the channel between two stations changed.
 

@@ -45,6 +45,7 @@ processes and still match a serial sweep byte for byte.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -59,6 +60,7 @@ from repro.phy.esnr import packet_delivery_probability
 from repro.sim.engine import EventScheduler
 from repro.sim.faults import FaultInjector, FaultSchedule, fault_profile
 from repro.sim.fidelity import DEFAULT_BAND_DB, FIDELITY_MODES, FidelityEngine
+from repro.sim.invariants import InvariantSuite, effective_validation
 from repro.sim.link_abstraction import receiver_stream_snrs
 from repro.sim.medium import Medium, ScheduledStream
 from repro.sim.metrics import NetworkMetrics
@@ -77,6 +79,7 @@ __all__ = [
     "effective_fault_profile",
     "effective_fidelity",
     "effective_fidelity_band_db",
+    "effective_validation",
     "placement_seed",
     "mac_seed",
     "mac_factory",
@@ -190,6 +193,18 @@ class SimulationConfig:
         falling back to
         :data:`repro.sim.fidelity.DEFAULT_BAND_DB`.  Part of the cache
         key for the same reason.
+    validation:
+        Runtime invariant checking (:mod:`repro.sim.invariants`):
+        ``"off"`` runs no checkers (the execution path is exactly the
+        unvalidated one), ``"cheap"`` verifies the aggregate
+        conservation laws at transmission-round boundaries, ``"full"``
+        additionally checks every link and queue each round (the mode
+        ``repro replay`` re-executes crash capsules under).  ``None``
+        (the default) defers to a scenario hint, falling back to
+        ``"off"``.  Validation never changes seeded results -- a
+        violated invariant raises instead of altering the run -- but
+        the field still joins the config digest (all fields do), so
+        keep it ``"off"`` for production sweeps.
     """
 
     duration_us: float = 100_000.0
@@ -204,6 +219,7 @@ class SimulationConfig:
     fault_trace: Optional[str] = None
     fidelity: Optional[str] = None
     fidelity_band_db: Optional[float] = None
+    validation: Optional[str] = None
 
 
 @dataclass
@@ -508,6 +524,17 @@ class _EventDrivenLoop:
                 mode=mode,
                 band_db=effective_fidelity_band_db(scenario, config),
             )
+        # No suite under "off": every invariant hook is behind an
+        # ``is not None`` check, so the unvalidated path is exactly the
+        # pre-invariant one (strict no-op, like faults and fidelity).
+        self.invariants: Optional[InvariantSuite] = None
+        validation = effective_validation(scenario, config)
+        if validation != "off":
+            self.invariants = InvariantSuite(validation)
+        # Last-N round summaries for crash capsules: when a run dies, the
+        # runner boundary attaches this ring to the exception so the
+        # capsule records what the simulation was doing when it crashed.
+        self.event_ring: deque = deque(maxlen=64)
 
     def run(self) -> NetworkMetrics:
         """Run rounds until the observation window closes."""
@@ -517,10 +544,16 @@ class _EventDrivenLoop:
         if self.faults is not None:
             self.faults.finalize()
         for agent in self.agents.values():
-            self.metrics.link(agent.name).packets_dropped = sum(
+            link = self.metrics.link(agent.name)
+            link.packets_dropped = sum(
                 queue.dropped_packets for queue in agent.queues.values()
             )
+            link.quarantined_rounds = agent.quarantined_rounds
         self.metrics.elapsed_us = self.scheduler.now_us
+        if self.invariants is not None:
+            # One closing pass over the final accounting (the last round's
+            # check ran before packets_dropped/quarantined_rounds landed).
+            self.invariants.check_round(self)
         return self.metrics
 
     # -- per-round queries (overridden by the batched pipeline) -----------------
@@ -594,6 +627,15 @@ class _EventDrivenLoop:
 
         agents, medium, metrics, rng = self.agents, self.medium, self.metrics, self.rng
         outcome = resolve_contention([agent.contender for agent in contending], rng)
+        self.event_ring.append(
+            {
+                "round": self.rounds,
+                "now_us": now,
+                "contenders": len(contending),
+                "winners": list(outcome.winners),
+                "collision": bool(outcome.collision),
+            }
+        )
         groups: List[_TransmissionGroup] = []
 
         if outcome.collision:
@@ -721,6 +763,8 @@ class _EventDrivenLoop:
             )
 
         medium.clear()
+        if self.invariants is not None:
+            self.invariants.check_round(self)
         self._schedule_round(max(end_of_round, now + SLOT_TIME_US))
 
 
@@ -923,7 +967,14 @@ def run_simulation(
         plan_cache=PlanCache() if plan_cache else None,
         fault_schedule=fault_schedule,
     )
-    return loop.run()
+    try:
+        return loop.run()
+    except Exception as exc:
+        # Attach the last-N round summaries so the crash-capsule writer
+        # (repro.sim.capsule) can record what the run was doing; the
+        # exception itself propagates unchanged.
+        exc._repro_event_ring = list(loop.event_ring)
+        raise
 
 
 def _run_simulation_condensed_reference(
@@ -955,6 +1006,11 @@ def _run_simulation_condensed_reference(
         raise ConfigurationError(
             "the condensed reference loop predates the fidelity layer; "
             "use run_simulation (or fidelity='abstraction')"
+        )
+    if effective_validation(scenario, config) != "off":
+        raise ConfigurationError(
+            "the condensed reference loop predates the invariant layer; "
+            "use run_simulation (or validation='off')"
         )
     rng = np.random.default_rng(seed)
     if network is None:
@@ -1086,9 +1142,11 @@ def _run_simulation_condensed_reference(
         now = max(end_of_round, now + SLOT_TIME_US)
 
     for agent in agents.values():
-        metrics.link(agent.name).packets_dropped = sum(
+        link = metrics.link(agent.name)
+        link.packets_dropped = sum(
             queue.dropped_packets for queue in agent.queues.values()
         )
+        link.quarantined_rounds = agent.quarantined_rounds
     metrics.elapsed_us = now
     return metrics
 

@@ -66,8 +66,11 @@ STORE_FILENAME = "results.sqlite"
 #: Version of the store's *table layout* (independent of the cell-key
 #: schema version, which lives in :mod:`repro.sim.sweep` and is part of
 #: every cell key).  An on-disk store with a newer layout than this
-#: build understands is refused rather than guessed at.
-STORE_SCHEMA_VERSION = 1
+#: build understands is refused rather than guessed at; an *older*
+#: layout is migrated in place (additive ``ALTER TABLE``s only).
+#: 2: failed cells carry ``capsule_path`` (the replayable crash capsule
+#:    written next to the store) and ``traceback``.
+STORE_SCHEMA_VERSION = 2
 
 #: The cell state machine: manifest rows start ``pending``, move to
 #: ``running`` when shipped to a worker, and finish ``done`` (metrics
@@ -100,6 +103,8 @@ CREATE TABLE IF NOT EXISTS cells (
     sweep_id             TEXT,
     metrics_json         TEXT,
     error                TEXT,
+    capsule_path         TEXT,
+    traceback            TEXT,
     updated_at           REAL NOT NULL
 );
 CREATE INDEX IF NOT EXISTS idx_cells_coords ON cells (scenario, protocol, status);
@@ -131,6 +136,8 @@ class CellRecord:
     error: Optional[str]
     updated_at: float
     metrics_json: Optional[str] = None
+    capsule_path: Optional[str] = None
+    traceback: Optional[str] = None
 
     def metrics(self) -> Optional[NetworkMetrics]:
         """Parse the stored metrics; ``None`` for non-``done`` cells."""
@@ -172,7 +179,15 @@ class ResultsStore:
         else:
             self.root = root
             self.path = root / STORE_FILENAME
-        self.root.mkdir(parents=True, exist_ok=True)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            # An uncreatable cache directory (read-only filesystem, a
+            # file where a directory was expected) is a configuration
+            # problem, reported cleanly before any file is touched.
+            raise ConfigurationError(
+                f"cannot create cache directory {self.root}: {exc}"
+            ) from exc
         self._conn = self._open()
         self._migrate_legacy_json()
 
@@ -181,12 +196,27 @@ class ResultsStore:
     def _open(self) -> sqlite3.Connection:
         try:
             return self._connect()
-        except sqlite3.DatabaseError:
+        except sqlite3.DatabaseError as exc:
+            if not self.path.exists():
+                # SQLite could not even create the file: an unwritable
+                # directory, not a corrupt store.  Nothing partial was
+                # written; report the configuration problem cleanly.
+                raise ConfigurationError(
+                    f"cannot create results store at {self.path}: {exc}"
+                ) from exc
             # An unreadable database (torn beyond WAL recovery, or not
             # SQLite at all) is set aside, not fatal: the cells it held
             # become misses, exactly like a corrupt JSON entry did.
             quarantine = self.path.with_suffix(f".corrupt.{os.getpid()}")
-            os.replace(self.path, quarantine)
+            try:
+                os.replace(self.path, quarantine)
+            except OSError as err:
+                # Cannot even move the file aside (read-only directory):
+                # surface the underlying problem instead of retrying.
+                raise ConfigurationError(
+                    f"results store at {self.path} is unreadable and cannot "
+                    f"be quarantined: {err}"
+                ) from err
             for sidecar in (self.path.parent / (self.path.name + "-wal"),
                             self.path.parent / (self.path.name + "-shm")):
                 sidecar.unlink(missing_ok=True)
@@ -205,6 +235,17 @@ class ResultsStore:
             if row is None:
                 conn.execute(
                     "INSERT INTO store_meta (key, value) VALUES ('store_schema', ?)",
+                    (str(STORE_SCHEMA_VERSION),),
+                )
+            elif int(row["value"]) < STORE_SCHEMA_VERSION:
+                # Additive in-place migration of an older layout.  v1 -> v2
+                # only adds nullable columns, so existing rows (and every
+                # cached cell) are untouched.
+                if int(row["value"]) < 2:
+                    conn.execute("ALTER TABLE cells ADD COLUMN capsule_path TEXT")
+                    conn.execute("ALTER TABLE cells ADD COLUMN traceback TEXT")
+                conn.execute(
+                    "UPDATE store_meta SET value=? WHERE key='store_schema'",
                     (str(STORE_SCHEMA_VERSION),),
                 )
         # Raised outside the transaction block: inside it, closing the
@@ -372,6 +413,8 @@ class ResultsStore:
         error: Optional[str],
         sweep_id: Optional[str] = None,
         keep_done: bool = False,
+        capsule_path: Optional[str] = None,
+        traceback: Optional[str] = None,
     ) -> None:
         values = {col: describe.get(col) for col in _DESCRIBE_COLUMNS}
         clause = ""
@@ -381,7 +424,8 @@ class ResultsStore:
             self._conn.execute(
                 "INSERT INTO cells (key, status, scenario, scenario_fingerprint, "
                 "protocol, run, run_seed, config_digest, sweep_id, metrics_json, "
-                "error, updated_at) VALUES (?,?,?,?,?,?,?,?,?,?,?,?) "
+                "error, capsule_path, traceback, updated_at) "
+                "VALUES (?,?,?,?,?,?,?,?,?,?,?,?,?,?) "
                 "ON CONFLICT(key) DO UPDATE SET status=excluded.status, "
                 "scenario=excluded.scenario, "
                 "scenario_fingerprint=excluded.scenario_fingerprint, "
@@ -389,6 +433,8 @@ class ResultsStore:
                 "run_seed=excluded.run_seed, config_digest=excluded.config_digest, "
                 "sweep_id=COALESCE(excluded.sweep_id, cells.sweep_id), "
                 "metrics_json=excluded.metrics_json, error=excluded.error, "
+                "capsule_path=excluded.capsule_path, "
+                "traceback=excluded.traceback, "
                 "updated_at=excluded.updated_at" + clause,
                 (
                     key,
@@ -402,6 +448,8 @@ class ResultsStore:
                     sweep_id,
                     metrics_json,
                     error,
+                    capsule_path,
+                    traceback,
                     time.time(),
                 ),
             )
@@ -424,10 +472,20 @@ class ResultsStore:
                 [(now, key) for key in keys],
             )
 
-    def mark_failed(self, key: str, error: str, describe: dict) -> None:
-        """Record a cell whose computation failed after every retry."""
+    def mark_failed(
+        self,
+        key: str,
+        error: str,
+        describe: dict,
+        capsule_path: Optional[str] = None,
+        traceback: Optional[str] = None,
+    ) -> None:
+        """Record a cell whose computation failed after every retry,
+        with the path of its replayable crash capsule (when one was
+        written) and the parent-side traceback (when available)."""
         self._upsert(key, status="failed", describe=describe,
-                     metrics_json=None, error=error)
+                     metrics_json=None, error=error,
+                     capsule_path=capsule_path, traceback=traceback)
 
     def count(self, status: Optional[str] = None) -> int:
         """Number of cells, optionally restricted to one state."""
@@ -584,7 +642,8 @@ class ResultsStore:
         where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
         columns = (
             "key, status, scenario, scenario_fingerprint, protocol, run, "
-            "run_seed, config_digest, sweep_id, error, updated_at"
+            "run_seed, config_digest, sweep_id, error, capsule_path, "
+            "traceback, updated_at"
         )
         if with_metrics:
             columns += ", metrics_json"
@@ -604,6 +663,8 @@ class ResultsStore:
                 config_digest=row["config_digest"],
                 sweep_id=row["sweep_id"],
                 error=row["error"],
+                capsule_path=row["capsule_path"],
+                traceback=row["traceback"],
                 updated_at=row["updated_at"],
                 metrics_json=row["metrics_json"] if with_metrics else None,
             )

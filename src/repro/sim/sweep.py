@@ -71,6 +71,7 @@ import os
 import signal
 import threading
 import time
+import traceback as _traceback
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
@@ -78,6 +79,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 from repro.channel.testbed import default_testbed
 from repro.exceptions import ConfigurationError, SimulationError
 from repro.mac.variants import ProtocolLike, ProtocolSpec, resolve_protocol
+from repro.sim.capsule import CAPSULE_DIRNAME, build_capsule, write_capsule
 from repro.sim.faults import fault_profile
 from repro.sim.metrics import NetworkMetrics
 from repro.sim.runner import (
@@ -154,7 +156,16 @@ __all__ = [
 #: (The SQLite results store did NOT bump the schema: cell keys and
 #: metrics payloads are unchanged, which is exactly what lets a legacy
 #: v6 JSON cache migrate into the store and keep hitting.)
-CACHE_SCHEMA_VERSION = 6
+#: 7: the numerical-hardening layer landed (repro.utils.guarded + link
+#:    quarantine): decompositions that previously raised out of a
+#:    degenerate cell now fall back deterministically and quarantine the
+#:    link, so cells that *crashed* under v6 produce metrics under v7
+#:    (and metrics payloads carry the new ``quarantined_rounds``
+#:    counter); the ``validation`` knob also joined the config digest.
+#:    Healthy cells are bit-identical to v6, but replaying a v6 cache
+#:    into a grid whose degenerate cells now complete would mix
+#:    crash-semantics generations.
+CACHE_SCHEMA_VERSION = 7
 
 
 def config_digest(config: SimulationConfig) -> str:
@@ -396,12 +407,21 @@ class FailedCell:
     Records the cell coordinates and the final exception string after
     every retry was exhausted, so a long sweep reports *which* cells are
     missing and why instead of aborting on the first worker crash.
+    ``capsule_path`` points at the replayable crash capsule written next
+    to the results store (``python -m repro.cli replay <path>`` re-runs
+    the exact cell); ``None`` when the sweep ran without a cache
+    directory.  ``traceback`` carries the full Python traceback of the
+    simulation crash (captured in-worker for parallel sweeps); it is
+    ``None`` only for failures outside a simulation, e.g. a worker that
+    kept dying or a task that timed out.
     """
 
     protocol: str
     run: int
     run_seed: int
     error: str
+    capsule_path: Optional[str] = None
+    traceback: Optional[str] = None
 
 
 @dataclass
@@ -489,7 +509,7 @@ def _resolve_scenario(
     return scenario, scenario_key
 
 
-def _simulate_run(args: Tuple) -> List[NetworkMetrics]:
+def _simulate_run(args: Tuple) -> List[Tuple]:
     """Worker entry point: simulate one placement under several protocols.
 
     Tasks ship run-level so the placement's network is drawn exactly once
@@ -498,20 +518,44 @@ def _simulate_run(args: Tuple) -> List[NetworkMetrics]:
     :func:`~repro.sim.runner.run_many` loop does.  Byte-identical to
     per-cell computation either way, because every simulation reseeds its
     own RNG streams from ``mac_seed(run_seed)``.
+
+    Returns one outcome per spec: ``("ok", metrics)`` for a completed
+    cell, ``("error", error, traceback, event_ring)`` for a crashed one
+    -- a crash in one protocol's simulation never fails the run's other
+    cells.  Failures *before* any simulation (the scenario factory or
+    the network draw) still raise and fail the whole task, because every
+    cell of the run genuinely shares that cause.
     """
     factory, specs, run_seed, config = args
     scenario = factory()
     network = build_network(scenario, run_seed, config)
-    return [
-        run_simulation(
-            scenario,
-            spec,
-            seed=mac_seed(run_seed),
-            config=config,
-            network=network,
-        )
-        for spec in specs
-    ]
+    outcomes = []
+    for spec in specs:
+        try:
+            metrics = run_simulation(
+                scenario,
+                spec,
+                seed=mac_seed(run_seed),
+                config=config,
+                network=network,
+            )
+        except Exception as exc:
+            # Isolate the crash to this protocol's cell: the run's other
+            # protocols are independent simulations off the same network
+            # draw, and failing them too would write capsules that do
+            # not reproduce.  The traceback and event ring travel as
+            # plain picklable data so parallel workers ship them too.
+            outcomes.append(
+                (
+                    "error",
+                    f"{type(exc).__name__}: {exc}",
+                    _traceback.format_exc(),
+                    getattr(exc, "_repro_event_ring", None),
+                )
+            )
+        else:
+            outcomes.append(("ok", metrics))
+    return outcomes
 
 
 def _open_cache(
@@ -832,7 +876,12 @@ def run_sweep(
     failures: List[FailedCell] = []
 
     def _fail(
-        run: int, run_seed: int, missing: List[ProtocolSpec], error: str
+        run: int,
+        run_seed: int,
+        missing: List[ProtocolSpec],
+        error: str,
+        traceback_text: Optional[str] = None,
+        ring: Optional[List[dict]] = None,
     ) -> None:
         if strict:
             raise SimulationError(
@@ -840,13 +889,33 @@ def run_sweep(
                 f"(run {run}, run_seed {run_seed}, "
                 f"protocols {[s.key for s in missing]}): {error}"
             )
+        # Capsules are written parent-side (workers only ship error
+        # strings), next to the results store; without a cache directory
+        # there is nowhere durable to put them.
+        capsule_dir = Path(cache_dir) / CAPSULE_DIRNAME if cache_dir is not None else None
         for spec in missing:
+            capsule_path: Optional[str] = None
+            if capsule_dir is not None:
+                try:
+                    capsule = build_capsule(
+                        factory(), key, fingerprint, spec, run, run_seed,
+                        config, error, traceback_text=traceback_text, events=ring,
+                    )
+                    capsule_path = str(write_capsule(capsule, capsule_dir))
+                except Exception:
+                    # A capsule is a debugging aid; failing to write one
+                    # must never cost the sweep its failure record.
+                    capsule_path = None
             failures.append(
-                FailedCell(protocol=spec.key, run=run, run_seed=run_seed, error=error)
+                FailedCell(
+                    protocol=spec.key, run=run, run_seed=run_seed, error=error,
+                    capsule_path=capsule_path, traceback=traceback_text,
+                )
             )
             if store is not None:
                 store.mark_failed(
-                    _cell_key(spec, run_seed), error, _describe(spec, run, run_seed)
+                    _cell_key(spec, run_seed), error, _describe(spec, run, run_seed),
+                    capsule_path=capsule_path, traceback=traceback_text,
                 )
 
     def _backoff(attempt: int) -> None:
@@ -924,8 +993,13 @@ def run_sweep(
                                 )
                         elif isinstance(event, TaskDone):
                             run, run_seed, missing = tasks[event.task_id]
-                            for spec, metrics in zip(missing, event.result):
-                                _record(run, run_seed, spec, metrics)
+                            for spec, outcome in zip(missing, event.result):
+                                if outcome[0] == "ok":
+                                    _record(run, run_seed, spec, outcome[1])
+                                else:
+                                    _, err, err_tb, err_ring = outcome
+                                    _fail(run, run_seed, [spec], err,
+                                          traceback_text=err_tb, ring=err_ring)
                         elif isinstance(event, TaskFailed):
                             run, run_seed, missing = tasks[event.task_id]
                             _fail(run, run_seed, missing, event.error)
@@ -940,6 +1014,8 @@ def run_sweep(
                 for (run, run_seed, missing), payload in zip(tasks, payloads):
                     metrics_list = None
                     error = "unknown error"
+                    error_tb: Optional[str] = None
+                    error_ring: Optional[List[dict]] = None
                     if store is not None:
                         store.mark_running(
                             [_cell_key(spec, run_seed) for spec in missing]
@@ -952,13 +1028,25 @@ def run_sweep(
                             raise
                         except Exception as exc:
                             error = f"{type(exc).__name__}: {exc}"
+                            # In-process we hold the live exception:
+                            # capture the traceback and the event ring
+                            # the runner boundary attached, for the
+                            # crash capsule.
+                            error_tb = _traceback.format_exc()
+                            error_ring = getattr(exc, "_repro_event_ring", None)
                             if attempt < max_retries:
                                 _backoff(attempt)
                     if metrics_list is None:
-                        _fail(run, run_seed, missing, error)
+                        _fail(run, run_seed, missing, error,
+                              traceback_text=error_tb, ring=error_ring)
                         continue
-                    for spec, metrics in zip(missing, metrics_list):
-                        _record(run, run_seed, spec, metrics)
+                    for spec, outcome in zip(missing, metrics_list):
+                        if outcome[0] == "ok":
+                            _record(run, run_seed, spec, outcome[1])
+                        else:
+                            _, err, err_tb, err_ring = outcome
+                            _fail(run, run_seed, [spec], err,
+                                  traceback_text=err_tb, ring=err_ring)
         if store is not None and sweep_id is not None:
             store.finish_sweep(sweep_id)
     except KeyboardInterrupt:

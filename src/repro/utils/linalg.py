@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import DimensionError
+from repro.utils import guarded
 
 __all__ = [
     "null_space",
@@ -121,7 +122,12 @@ def null_space_batch(
     ------
     DimensionError
         If any matrix in the stack has a null space thinner than
-        ``n_vectors``.
+        ``n_vectors`` -- only when guards are disabled
+        (:mod:`repro.utils.guarded`).  With guards enabled (the
+        default), deficient matrices instead fall back to the
+        ``n_vectors`` *smallest*-singular-value directions (the
+        deterministic pinned-rcond choice) and a degradation is noted
+        so the MAC layer can quarantine the link.
     """
     a = np.asarray(matrices, dtype=complex)
     if a.ndim != 3:
@@ -132,12 +138,22 @@ def null_space_batch(
     if rows == 0:
         eye = np.eye(cols, dtype=complex)[:, :n_vectors]
         return np.broadcast_to(eye, (batch, cols, n_vectors)).copy()
-    _, s, vh = np.linalg.svd(a, full_matrices=True)
-    ranks = singular_value_ranks(s, rcond)
-    if np.any(ranks + n_vectors > cols):
-        raise DimensionError(
-            f"a matrix in the stack has a null space of dimension smaller than {n_vectors}"
-        )
+    if guarded.guards_enabled():
+        _, s, vh = guarded.svd_stack(a, full_matrices=True)
+        ranks = singular_value_ranks(s, rcond)
+        if np.any(guarded.ill_conditioned(s)):
+            guarded.note_degradation("ill-conditioned-null-space")
+        deficient = ranks + n_vectors > cols
+        if np.any(deficient):
+            guarded.note_degradation("null-space-deficit")
+            ranks = np.where(deficient, cols - n_vectors, ranks)
+    else:
+        _, s, vh = np.linalg.svd(a, full_matrices=True)
+        ranks = singular_value_ranks(s, rcond)
+        if np.any(ranks + n_vectors > cols):
+            raise DimensionError(
+                f"a matrix in the stack has a null space of dimension smaller than {n_vectors}"
+            )
     # Gather rows ``rank .. rank + n_vectors`` of each V^H, even when the
     # ranks differ across the stack.
     row_idx = ranks[:, None] + np.arange(n_vectors)[None, :]
@@ -167,7 +183,11 @@ def orthonormal_complement_batch(
     Raises
     ------
     DimensionError
-        If any matrix's complement has fewer than ``n_vectors`` dimensions.
+        If any matrix's complement has fewer than ``n_vectors``
+        dimensions -- only when guards are disabled
+        (:mod:`repro.utils.guarded`).  With guards enabled (the
+        default), deficient matrices fall back to the ``n_vectors``
+        weakest left-singular directions and a degradation is noted.
     """
     a = np.asarray(matrices, dtype=complex)
     if a.ndim != 3:
@@ -178,12 +198,22 @@ def orthonormal_complement_batch(
     if k == 0:
         eye = np.eye(n, dtype=complex)[:, :n_vectors]
         return np.broadcast_to(eye, (batch, n, n_vectors)).copy()
-    u, s, _ = np.linalg.svd(a, full_matrices=True)
-    ranks = singular_value_ranks(s, rcond)
-    if np.any(ranks + n_vectors > n):
-        raise DimensionError(
-            f"a matrix in the stack has an orthogonal complement thinner than {n_vectors}"
-        )
+    if guarded.guards_enabled():
+        u, s, _ = guarded.svd_stack(a, full_matrices=True)
+        ranks = singular_value_ranks(s, rcond)
+        if np.any(guarded.ill_conditioned(s)):
+            guarded.note_degradation("ill-conditioned-complement")
+        deficient = ranks + n_vectors > n
+        if np.any(deficient):
+            guarded.note_degradation("complement-deficit")
+            ranks = np.where(deficient, n - n_vectors, ranks)
+    else:
+        u, s, _ = np.linalg.svd(a, full_matrices=True)
+        ranks = singular_value_ranks(s, rcond)
+        if np.any(ranks + n_vectors > n):
+            raise DimensionError(
+                f"a matrix in the stack has an orthogonal complement thinner than {n_vectors}"
+            )
     col_idx = ranks[:, None] + np.arange(n_vectors)[None, :]
     selected = u[np.arange(batch)[:, None], :, col_idx]  # (batch, n_vectors, n)
     return selected.transpose(0, 2, 1)

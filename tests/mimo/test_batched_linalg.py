@@ -8,6 +8,7 @@ import pytest
 
 from repro.exceptions import DimensionError
 from repro.mimo.decoder import post_projection_snr, post_projection_snr_batch
+from repro.utils import guarded
 from repro.utils.linalg import (
     null_space,
     null_space_batch,
@@ -47,10 +48,24 @@ class TestNullSpaceBatch:
             reference = null_space(stack[k])[:, :2]
             assert np.allclose(batched[k], reference)
 
-    def test_too_thin_null_space_raises(self, rng):
+    def test_too_thin_null_space_raises_with_guards_disabled(self, rng):
         stack = _stack(rng, N_SUB, 3, 4)
-        with pytest.raises(DimensionError):
-            null_space_batch(stack, 2)
+        with guarded.guards_disabled():
+            with pytest.raises(DimensionError):
+                null_space_batch(stack, 2)
+
+    def test_too_thin_null_space_falls_back_under_guards(self, rng):
+        # Guards on (the default): the deficit is recorded as a degradation
+        # and the call returns the least-constrained directions instead of
+        # raising -- the MAC layer turns the recorded event into a link
+        # quarantine.
+        stack = _stack(rng, N_SUB, 3, 4)
+        with guarded.capture_degradations() as capture:
+            batched = null_space_batch(stack, 2)
+        assert capture.triggered
+        assert "null-space-deficit" in capture.events
+        assert batched.shape == (N_SUB, 4, 2)
+        assert np.isfinite(batched).all()
 
     def test_vectors_annihilate_constraints(self, rng):
         stack = _stack(rng, N_SUB, 2, 5)

@@ -7,6 +7,7 @@ resumable, and the one-shot migration of legacy JSON caches.
 """
 
 import json
+import os
 import sqlite3
 
 import pytest
@@ -273,3 +274,126 @@ class TestJsonMigration:
         store = ResultsStore(tmp_path)
         assert len(store) == 1
         assert store.load(keys[0]) is not None
+
+
+_V1_SCHEMA = """
+CREATE TABLE store_meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE sweeps (
+    sweep_id      TEXT PRIMARY KEY,
+    manifest_json TEXT NOT NULL,
+    status        TEXT NOT NULL CHECK (status IN ('running','interrupted','done')),
+    created_at    REAL NOT NULL,
+    updated_at    REAL NOT NULL
+);
+CREATE TABLE cells (
+    key                  TEXT PRIMARY KEY,
+    status               TEXT NOT NULL CHECK (status IN ('pending','running','done','failed')),
+    scenario             TEXT,
+    scenario_fingerprint TEXT,
+    protocol             TEXT,
+    run                  INTEGER,
+    run_seed             INTEGER,
+    config_digest        TEXT,
+    sweep_id             TEXT,
+    metrics_json         TEXT,
+    error                TEXT,
+    updated_at           REAL NOT NULL
+);
+INSERT INTO store_meta (key, value) VALUES ('store_schema', '1');
+"""
+
+
+class TestSchemaV2Migration:
+    """In-place upgrade of a version-1 store (no capsule columns)."""
+
+    def _seed_v1_store(self, tmp_path):
+        path = tmp_path / STORE_FILENAME
+        conn = sqlite3.connect(path)
+        with conn:
+            conn.executescript(_V1_SCHEMA)
+            conn.execute(
+                "INSERT INTO cells (key, status, protocol, metrics_json, updated_at) "
+                "VALUES (?, 'done', 'n+', ?, 0.0)",
+                ("a" * 64, json.dumps(_metrics().to_dict())),
+            )
+            conn.execute(
+                "INSERT INTO cells (key, status, protocol, error, updated_at) "
+                "VALUES (?, 'failed', 'n+', 'RuntimeError: boom', 0.0)",
+                ("b" * 64,),
+            )
+        conn.close()
+        return path
+
+    def test_v1_store_upgrades_in_place(self, tmp_path):
+        path = self._seed_v1_store(tmp_path)
+        store = ResultsStore(tmp_path)
+        conn = sqlite3.connect(path)
+        columns = {r[1] for r in conn.execute("PRAGMA table_info(cells)")}
+        version = conn.execute(
+            "SELECT value FROM store_meta WHERE key='store_schema'"
+        ).fetchone()[0]
+        conn.close()
+        assert {"capsule_path", "traceback"} <= columns
+        assert int(version) == STORE_SCHEMA_VERSION
+        # old rows survive: the done cell still hits, the failure is kept
+        assert store.load("a" * 64).links["a->b"].delivered_bits == 1200
+        failed = [r for r in store.query() if r.status == "failed"]
+        assert failed[0].error == "RuntimeError: boom"
+        assert failed[0].capsule_path is None
+
+    def test_migrated_store_accepts_capsule_records(self, tmp_path):
+        self._seed_v1_store(tmp_path)
+        store = ResultsStore(tmp_path)
+        store.mark_failed(
+            "b" * 64,
+            "RuntimeError: boom",
+            _describe(),
+            capsule_path="/tmp/capsule.json",
+            traceback="Traceback ...",
+        )
+        row = [r for r in store.query() if r.key == "b" * 64][0]
+        assert row.capsule_path == "/tmp/capsule.json"
+        assert row.traceback == "Traceback ..."
+
+
+class TestUnwritableDirectory:
+    """An unusable cache location is a clean ConfigurationError with no
+    partial files -- not a bare OSError halfway through a sweep."""
+
+    def test_file_in_place_of_the_cache_dir(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("i am a file")
+        with pytest.raises(ConfigurationError, match="cannot create cache directory"):
+            ResultsStore(blocker / "cache")
+        assert blocker.read_text() == "i am a file"
+        assert list(tmp_path.iterdir()) == [blocker]
+
+    def test_sweep_surfaces_the_configuration_error(self, tmp_path):
+        from repro.sim.runner import SimulationConfig as _Config
+        from repro.sim.sweep import run_sweep
+
+        blocker = tmp_path / "blocker"
+        blocker.write_text("i am a file")
+        with pytest.raises(ConfigurationError, match="cache directory"):
+            run_sweep(
+                "three-pair",
+                ["n+"],
+                n_runs=1,
+                config=_Config(duration_us=4000.0, n_subcarriers=4),
+                cache_dir=blocker / "cache",
+            )
+        assert list(tmp_path.iterdir()) == [blocker]
+
+    @pytest.mark.skipif(os.geteuid() == 0, reason="root ignores directory modes")
+    def test_readonly_directory(self, tmp_path):
+        readonly = tmp_path / "readonly"
+        readonly.mkdir()
+        readonly.chmod(0o500)
+        try:
+            with pytest.raises(ConfigurationError):
+                ResultsStore(readonly)
+        finally:
+            readonly.chmod(0o700)

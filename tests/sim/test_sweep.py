@@ -427,7 +427,7 @@ class TestDenseScenarios:
 
 
 class TestSchemaBoundary:
-    """The CACHE_SCHEMA_VERSION 6 bump (spec-canonical protocol coordinate).
+    """The CACHE_SCHEMA_VERSION 7 bump (guarded numerics + validation digest).
 
     Cells written under an older schema must be *missed* -- recomputed
     under the current semantics -- never replayed; and ``channel_draws``
@@ -435,27 +435,27 @@ class TestSchemaBoundary:
     selecting a different draw contract changes every seeded channel.
     """
 
-    def test_v5_cached_cells_are_missed_after_the_v6_bump(self, tmp_path, monkeypatch):
+    def test_old_cached_cells_are_missed_after_the_bump(self, tmp_path, monkeypatch):
         import repro.sim.sweep as sweep_module
 
-        assert sweep_module.CACHE_SCHEMA_VERSION == 6
+        assert sweep_module.CACHE_SCHEMA_VERSION == 7
 
-        # Populate the cache as a v5 writer would have keyed it.
-        monkeypatch.setattr(sweep_module, "CACHE_SCHEMA_VERSION", 5)
+        # Populate the cache as a previous-schema writer would have keyed it.
+        monkeypatch.setattr(sweep_module, "CACHE_SCHEMA_VERSION", 6)
         old = run_sweep(
             "three-pair", ["n+"], n_runs=2, seed=4, config=FAST, cache_dir=tmp_path
         )
         assert old.cache_misses == 2 and len(ResultsStore(tmp_path)) == 2
 
-        # Back on the real schema: every v5 cell is a miss, not a replay.
+        # Back on the real schema: every old cell is a miss, not a replay.
         monkeypatch.undo()
-        assert sweep_module.CACHE_SCHEMA_VERSION == 6
+        assert sweep_module.CACHE_SCHEMA_VERSION == 7
         bumped = run_sweep(
             "three-pair", ["n+"], n_runs=2, seed=4, config=FAST, cache_dir=tmp_path
         )
         assert bumped.cache_hits == 0 and bumped.cache_misses == 2
         # The recomputed cells are correct (identical to an uncached sweep)
-        # and were re-stored under the v6 keys next to the stale v5 rows.
+        # and were re-stored under the v7 keys next to the stale v6 rows.
         fresh = run_sweep("three-pair", ["n+"], n_runs=2, seed=4, config=FAST)
         assert _as_dicts(bumped.results) == _as_dicts(fresh.results)
         assert len(ResultsStore(tmp_path)) == 4
@@ -464,10 +464,10 @@ class TestSchemaBoundary:
         import repro.sim.sweep as sweep_module
 
         cache = SweepCache(tmp_path)
+        v7_key = cache.cell_key("three-pair", "n+", 4, FAST)
+        monkeypatch.setattr(sweep_module, "CACHE_SCHEMA_VERSION", 6)
         v6_key = cache.cell_key("three-pair", "n+", 4, FAST)
-        monkeypatch.setattr(sweep_module, "CACHE_SCHEMA_VERSION", 5)
-        v5_key = cache.cell_key("three-pair", "n+", 4, FAST)
-        assert v6_key != v5_key
+        assert v7_key != v6_key
 
     def test_scenario_digest_covers_channel_draws(self):
         import dataclasses as dc
@@ -754,6 +754,26 @@ class TestDefaultWorkers:
         monkeypatch.setenv("REPRO_WORKERS", "  ")
         expected = max(1, len(os.sched_getaffinity(0)))
         assert default_workers() == expected
+
+    def test_missing_affinity_falls_back_to_cpu_count(self, monkeypatch):
+        # macOS/Windows have no os.sched_getaffinity at all
+        import os
+
+        from repro.sim import sweep
+        from repro.sim.sweep import default_workers
+
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        monkeypatch.delattr(sweep.os, "sched_getaffinity", raising=False)
+        assert default_workers() == max(1, os.cpu_count() or 1)
+
+    def test_missing_cpu_count_means_one_worker(self, monkeypatch):
+        from repro.sim import sweep
+        from repro.sim.sweep import default_workers
+
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        monkeypatch.delattr(sweep.os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(sweep.os, "cpu_count", lambda: None)
+        assert default_workers() == 1
 
 
 class TestRetryBackoff:
